@@ -1,0 +1,129 @@
+// Ablation (§III-C "Interpolation"): the fine/coarse interpolator choice.
+//
+//  * trilinear      — AMReX's built-in (CRoCCo 2.1): index-space weights,
+//                     no coordinate data, no global communication;
+//  * curvilinear    — CRoCCo's custom scheme (2.0): physical-space weights,
+//                     needs the coordinate gather (the global ParallelCopy
+//                     the paper profiles), exact for affine fields on any
+//                     grid, not conservative;
+//  * conservative   — cell-conservative linear comparator;
+//  * WENO           — the paper's in-development high-order conservative
+//                     replacement ("future work", implemented here).
+//
+// For each: measured interpolation error on a smooth field over a stretched
+// grid, conservation defect, coarse ghost need, and whether it triggers the
+// coordinate ParallelCopy.
+#include "bench_util.hpp"
+
+#include "amr/Interpolater.hpp"
+
+#include <cmath>
+#include <memory>
+
+using namespace crocco;
+using namespace crocco::bench;
+using amr::Box;
+using amr::FArrayBox;
+using amr::IntVect;
+
+namespace {
+
+double stretch(double x) { return x + 0.12 * x * x; }
+
+using Field = double (*)(double, double, double);
+double smoothField(double x, double y, double z) {
+    return std::sin(0.35 * x) * std::cos(0.3 * y) + 0.2 * std::sin(0.25 * z);
+}
+// Affine in *physical* space: the discriminating case — exact for the
+// curvilinear scheme on any grid, inexact for index-space trilinear on a
+// stretched one.
+double affineField(double x, double y, double z) {
+    return 2.0 * x - 0.5 * y + 0.25 * z + 1.0;
+}
+
+struct Result {
+    double maxErr, consDefect;
+};
+
+Result evaluate(const amr::Interpolater& interp, Field field) {
+    const Box fineRegion(IntVect(4), IntVect(19));
+    const IntVect ratio(2);
+    const Box crseBox = fineRegion.coarsen(ratio).grow(interp.nGrowCoarse());
+
+    FArrayBox crse(crseBox, 1), crseCoords(crseBox, 3);
+    auto c = crse.array();
+    auto cc = crseCoords.array();
+    amr::forEachCell(crseBox, [&](int i, int j, int k) {
+        const double x = stretch(i + 0.5), y = j + 0.5, z = k + 0.5;
+        cc(i, j, k, 0) = x;
+        cc(i, j, k, 1) = y;
+        cc(i, j, k, 2) = z;
+        c(i, j, k, 0) = field(x, y, z);
+    });
+    FArrayBox fine(fineRegion, 1), fineCoords(fineRegion, 3);
+    auto fc = fineCoords.array();
+    amr::forEachCell(fineRegion, [&](int i, int j, int k) {
+        fc(i, j, k, 0) = stretch((i + 0.5) * 0.5);
+        fc(i, j, k, 1) = (j + 0.5) * 0.5;
+        fc(i, j, k, 2) = (k + 0.5) * 0.5;
+    });
+    amr::InterpContext ctx{&crseCoords, &fineCoords};
+    interp.interp(crse, fine, fineRegion, 0, 0, 1, ratio, ctx);
+
+    Result r{0.0, 0.0};
+    auto f = fine.const_array();
+    amr::forEachCell(fineRegion, [&](int i, int j, int k) {
+        const double exact =
+            field(stretch((i + 0.5) * 0.5), (j + 0.5) * 0.5, (k + 0.5) * 0.5);
+        r.maxErr = std::max(r.maxErr, std::abs(f(i, j, k, 0) - exact));
+    });
+    // Conservation defect: worst |child mean - parent value| per coarse cell.
+    auto cca = crse.const_array();
+    amr::forEachCell(fineRegion.coarsen(ratio), [&](int i, int j, int k) {
+        double mean = 0.0;
+        for (int dk = 0; dk < 2; ++dk)
+            for (int dj = 0; dj < 2; ++dj)
+                for (int di = 0; di < 2; ++di)
+                    mean += f(2 * i + di, 2 * j + dj, 2 * k + dk, 0);
+        r.consDefect =
+            std::max(r.consDefect, std::abs(mean / 8.0 - cca(i, j, k, 0)));
+    });
+    return r;
+}
+
+} // namespace
+
+int main() {
+    printHeader("Ablation: fine/coarse interpolator choice (2.0 vs 2.1 vs future)");
+    struct Row {
+        const char* name;
+        std::unique_ptr<amr::Interpolater> interp;
+        const char* comm;
+    } rows[4];
+    rows[0] = {"trilinear (v2.1)", std::make_unique<amr::TrilinearInterp>(),
+               "none"};
+    rows[1] = {"curvilinear (v2.0)", std::make_unique<amr::CurvilinearInterp>(),
+               "global coord copy"};
+    rows[2] = {"conservative", std::make_unique<amr::CellConservativeLinear>(),
+               "none"};
+    rows[3] = {"WENO (future work)", std::make_unique<amr::WenoInterp>(), "none"};
+
+    std::printf("%20s | %12s %12s %14s %6s | %s\n", "interpolator",
+                "err (smooth)", "err (affine)", "cons. defect", "ghost",
+                "extra communication");
+    for (auto& r : rows) {
+        const Result smooth = evaluate(*r.interp, smoothField);
+        const Result affine = evaluate(*r.interp, affineField);
+        std::printf("%20s | %12.3e %12.3e %14.3e %6d | %s\n", r.name,
+                    smooth.maxErr, affine.maxErr, smooth.consDefect,
+                    r.interp->nGrowCoarse(), r.comm);
+    }
+    std::printf("\nThe curvilinear scheme's physical-space weights pay off as grid\n");
+    std::printf("stretching grows (it is exact for affine fields where trilinear\n");
+    std::printf("is not — see interp_test), at the price of the coordinate\n");
+    std::printf("ParallelCopy. The WENO interpolator is more accurate still and\n");
+    std::printf("communication-free — why the paper develops it (Sec. III-C);\n");
+    std::printf("only the conservative-linear comparator preserves coarse means\n");
+    std::printf("exactly, the property the WENO scheme is being extended toward.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation (§III-B): AMReX's default Z-Morton space-filling-curve load
+// balancing (which the paper adopts) versus knapsack and round-robin —
+// measured on the synthesized DMR hierarchy metadata: per-rank point
+// imbalance and the ghost-exchange communication load of the busiest rank.
+#include "bench_util.hpp"
+
+using namespace crocco;
+using namespace crocco::bench;
+using amr::BoxArray;
+using amr::DistributionMapping;
+
+int main() {
+    printHeader("Ablation: load balancing strategy (SFC vs knapsack vs round-robin)");
+    machine::ScalingSimulator sim;
+    // CPU configuration: several boxes per rank, so strategies differ.
+    const machine::ScalingCase c{core::CodeVersion::V12, 16, 2620000000ll};
+    const auto h = sim.buildHierarchy(c);
+    const int ranks = sim.ranksFor(c);
+    machine::NetworkModel net;
+
+    std::printf("%12s | %10s | %12s %14s\n", "strategy", "imbalance",
+                "p2p msgs", "p2p MB (max)");
+    for (auto strategy : {DistributionMapping::Strategy::SFC,
+                          DistributionMapping::Strategy::Knapsack,
+                          DistributionMapping::Strategy::RoundRobin}) {
+        const char* name = strategy == DistributionMapping::Strategy::SFC
+                               ? "SFC (paper)"
+                               : strategy == DistributionMapping::Strategy::Knapsack
+                                     ? "knapsack"
+                                     : "round-robin";
+        double worstImbalance = 0.0;
+        int maxMsgs = 0;
+        std::int64_t maxBytes = 0;
+        for (const auto& L : h.levels) {
+            DistributionMapping dm(L.ba, ranks, strategy);
+            worstImbalance = std::max(worstImbalance, dm.imbalance(L.ba));
+            machine::PhaseLoad load(ranks);
+            for (int i = 0; i < L.ba.size(); ++i) {
+                for (const auto& [j, isect] :
+                     L.ba.intersections(L.ba[i].grow(core::NGHOST))) {
+                    if (i == j) continue;
+                    load.addMessage(dm[j], dm[i],
+                                    isect.numPts() * core::NCONS * 8);
+                }
+            }
+            maxMsgs = std::max(maxMsgs, load.maxMessages());
+            maxBytes = std::max(maxBytes, load.maxBytes());
+        }
+        std::printf("%12s | %10.3f | %12d %14.2f\n", name, worstImbalance,
+                    maxMsgs, static_cast<double>(maxBytes) / (1 << 20));
+    }
+    std::printf("\nSFC keeps neighboring boxes on the same rank (fewer, smaller\n");
+    std::printf("ghost messages) at comparable imbalance — why AMReX (and the\n");
+    std::printf("paper) use it as the default.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Regenerates Fig. 1: an example block-structured AMR grid with three
+// levels — the coarsest level active across the whole domain, finer patch
+// levels overset as contiguous block structures (no parent-child tree).
+// Rendered as an ASCII occupancy map of a z-slice plus the box inventory.
+#include "bench_util.hpp"
+
+#include "problems/Dmr.hpp"
+
+using namespace crocco;
+using namespace crocco::bench;
+
+int main() {
+    printHeader("Figure 1: three-level block-structured AMR grid (DMR example)");
+    problems::Dmr::Options opts;
+    opts.nx = 64;
+    opts.ny = 16;
+    opts.nz = 8;
+    opts.maxLevel = 2;
+    problems::Dmr dmr(opts);
+    core::CroccoAmr solver(dmr.geometry(), dmr.solverConfig(core::CodeVersion::V20),
+                           dmr.mapping());
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+    solver.evolve(2); // let the hierarchy settle onto the moving shock
+
+    // Occupancy map of the z = 0 slice at level-0 resolution: '.' covered
+    // by level 0 only, '+' by level 1, '#' by level 2.
+    const auto& g0 = solver.geom(0).domain();
+    for (int j = g0.bigEnd(1); j >= 0; --j) {
+        for (int i = 0; i <= g0.bigEnd(0); ++i) {
+            char c = '.';
+            if (solver.finestLevel() >= 1 &&
+                solver.boxArray(1).contains(amr::IntVect{2 * i, 2 * j, 0}))
+                c = '+';
+            if (solver.finestLevel() >= 2 &&
+                solver.boxArray(2).contains(amr::IntVect{4 * i, 4 * j, 0}))
+                c = '#';
+            std::putchar(c);
+        }
+        std::putchar('\n');
+    }
+
+    std::printf("\nlevel  boxes  points      coverage of domain\n");
+    for (int lev = 0; lev <= solver.finestLevel(); ++lev) {
+        const auto& ba = solver.boxArray(lev);
+        const double cover = static_cast<double>(ba.numPts()) /
+                             static_cast<double>(solver.geom(lev).domain().numPts());
+        std::printf("%5d %6d  %-10lld %5.1f%%\n", lev, ba.size(),
+                    static_cast<long long>(ba.numPts()), 100.0 * cover);
+    }
+    std::printf("\nactive points %lld of %lld equivalent (%.1f%% reduction)\n",
+                static_cast<long long>(solver.totalPoints()),
+                static_cast<long long>(solver.equivalentPoints()),
+                100.0 * (1.0 - static_cast<double>(solver.totalPoints()) /
+                                   static_cast<double>(solver.equivalentPoints())));
+    return 0;
+}

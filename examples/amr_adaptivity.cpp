@@ -1,0 +1,53 @@
+// Watch the AMR machinery work: a Sod shock tube with one refinement level
+// whose grids chase the shock, contact, and rarefaction as they spread.
+// Each regrid interval prints an ASCII strip of which x-columns the fine
+// level covers, plus grid statistics — Algorithm 1's Regrid() in action.
+//
+// Usage: amr_adaptivity [nsteps]
+#include "problems/Canonical.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace crocco;
+
+int main(int argc, char** argv) {
+    const int nsteps = argc > 1 ? std::atoi(argv[1]) : 48;
+
+    problems::SodTube sod(/*nx=*/64);
+    auto cfg = sod.solverConfig(/*amr=*/true);
+    cfg.regridFreq = 4;
+    core::CroccoAmr solver(sod.geometry(), cfg, sod.mapping());
+    solver.init(sod.initialCondition(), sod.boundaryConditions());
+
+    std::printf("Sod shock tube, 64 base cells + 1 AMR level (regrid every %d)\n",
+                cfg.regridFreq);
+    std::printf("each row: fine-level coverage along x ('#' refined)\n\n");
+    std::printf("%6s %9s %7s %6s  %s\n", "step", "time", "pts", "boxes",
+                "fine-level coverage");
+
+    for (int s = 0; s <= nsteps; ++s) {
+        if (s % cfg.regridFreq == 0) {
+            std::string strip(64, '.');
+            if (solver.finestLevel() >= 1) {
+                for (int i = 0; i < 64; ++i) {
+                    if (solver.boxArray(1).contains(amr::IntVect{2 * i, 8, 8}))
+                        strip[static_cast<std::size_t>(i)] = '#';
+                }
+            }
+            const int boxes =
+                solver.finestLevel() >= 1 ? solver.boxArray(1).size() : 0;
+            std::printf("%6d %9.4f %7lld %6d  %s\n", solver.stepCount(),
+                        solver.time(), static_cast<long long>(solver.totalPoints()),
+                        boxes, strip.c_str());
+        }
+        if (s < nsteps) solver.step();
+    }
+
+    std::printf("\nThe refined band splits and spreads with the three waves\n");
+    std::printf("(rarefaction left, contact and shock right), and the total\n");
+    std::printf("active points stay far below the %lld of a uniform fine grid.\n",
+                static_cast<long long>(solver.equivalentPoints()));
+    return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's test case (§V-B, Fig. 2): 3-D double Mach reflection of a
+// Mach 10 shock on general curvilinear coordinates with three-level
+// block-structured AMR — CRoCCo v2.0 end to end.
+//
+// Runs the full Algorithm 1 loop (Regrid / ComputeDt / RK3 with FillPatch,
+// BC_Fill, WENOx/y/z, Viscous, AverageDown), reports the AMR hierarchy as it
+// tracks the moving shock, writes a density z-slice to dmr_density.csv
+// (Fig. 2's contour data), and prints the TinyProfiler region table
+// (Fig. 6's measured analog on this host).
+//
+// Usage: dmr [nsteps] [maxLevel] [deck.inputs]
+//
+// The optional AMReX-style input deck (see examples/dmr.inputs) overrides
+// the solver configuration: CFL, WENO scheme, reconstruction, interpolator,
+// tagging, AMR parameters.
+#include "io/ParmParse.hpp"
+#include "problems/Dmr.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace crocco;
+
+int main(int argc, char** argv) {
+    const int nsteps = argc > 1 ? std::atoi(argv[1]) : 20;
+    const int maxLevel = argc > 2 ? std::atoi(argv[2]) : 2;
+
+    problems::Dmr::Options opts;
+    opts.nx = 96;
+    opts.ny = 24;
+    opts.nz = 8;
+    opts.maxLevel = maxLevel;
+    opts.curvilinear = true;
+    problems::Dmr dmr(opts);
+
+    auto cfg = dmr.solverConfig(core::CodeVersion::V20);
+    cfg.regridFreq = 4;
+    if (argc > 3) {
+        io::ParmParse pp;
+        pp.parseFile(argv[3]);
+        cfg = pp.makeConfig(cfg);
+        for (const auto& key : pp.unusedKeys())
+            std::fprintf(stderr, "warning: unused deck key '%s'\n", key.c_str());
+    }
+    core::CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping());
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+
+    std::printf("double Mach reflection: %dx%dx%d base grid, %d AMR levels,\n",
+                opts.nx, opts.ny, opts.nz, solver.finestLevel() + 1);
+    std::printf("curvilinear grid, Mach 10 shock, CFL %.2f\n\n", cfg.cfl);
+    std::printf("%6s %10s %10s %12s %10s %8s\n", "step", "time", "dt",
+                "active pts", "reduction", "levels");
+    for (int s = 0; s < nsteps; ++s) {
+        solver.step();
+        if (s % 4 == 0 || s == nsteps - 1) {
+            const double red =
+                100.0 * (1.0 - static_cast<double>(solver.totalPoints()) /
+                                   static_cast<double>(solver.equivalentPoints()));
+            std::printf("%6d %10.5f %10.2e %12lld %9.1f%% %8d\n",
+                        solver.stepCount(), solver.time(), solver.lastDt(),
+                        static_cast<long long>(solver.totalPoints()), red,
+                        solver.finestLevel() + 1);
+        }
+    }
+
+    // Fig. 2 analog: density on the k = 0 slice of the finest data
+    // available at each (i, j), in physical coordinates.
+    std::ofstream csv("dmr_density.csv");
+    csv << "x,y,level,rho\n";
+    for (int lev = solver.finestLevel(); lev >= 0; --lev) {
+        const auto& U = solver.state(lev);
+        const auto& X = solver.coords(lev);
+        for (int f = 0; f < U.numFabs(); ++f) {
+            auto a = U.const_array(f);
+            auto x = X.const_array(f);
+            amr::forEachCell(U.validBox(f), [&](int i, int j, int k) {
+                if (k != 0) return;
+                // Skip cells covered by a finer level (counted there).
+                if (lev < solver.finestLevel() &&
+                    solver.boxArray(lev + 1).contains(
+                        amr::IntVect{2 * i, 2 * j, 0}))
+                    return;
+                csv << x(i, j, k, 0) << ',' << x(i, j, k, 1) << ',' << lev << ','
+                    << a(i, j, k, core::URHO) << '\n';
+            });
+        }
+    }
+    std::printf("\nwrote dmr_density.csv (density contour data, Fig. 2 analog)\n");
+
+    std::printf("\ndensity range: [%.3f, %.3f] (pre-shock 1.4, post-shock 8.0,\n",
+                solver.state(0).min(core::URHO), solver.state(0).max(core::URHO));
+    std::printf("Mach-stem compression raises the maximum well above 8)\n");
+    std::printf("\nTinyProfiler regions (measured on this host):\n%s",
+                solver.profiler().table().c_str());
+    return 0;
+}

@@ -1,0 +1,144 @@
+#include "amr/AmrCore.hpp"
+
+#include "amr/BoxList.hpp"
+
+#include <cassert>
+
+namespace crocco::amr {
+
+BoxArray makeLevel0Grids(const Box& domain, const AmrInfo& info) {
+    assert(domain.coarsenable(IntVect(info.blockingFactor)));
+    auto boxes = chopToMaxSize({domain}, IntVect(info.maxGridSize));
+    boxes = refineToBlockingFactor(std::move(boxes), info.blockingFactor);
+    return BoxArray(std::move(boxes));
+}
+
+AmrCore::AmrCore(const Geometry& geom0, const AmrInfo& info, int nranks,
+                 parallel::SimComm* comm)
+    : info_(info), nranks_(nranks), comm_(comm) {
+    assert(info.maxLevel >= 0);
+    assert(info.blockingFactor % info.refRatio.max() == 0);
+    assert(info.maxGridSize % info.blockingFactor == 0);
+    geom_.resize(info.maxLevel + 1);
+    grids_.resize(info.maxLevel + 1);
+    dmap_.resize(info.maxLevel + 1);
+    geom_[0] = geom0;
+    for (int lev = 1; lev <= info.maxLevel; ++lev)
+        geom_[lev] = geom_[lev - 1].refine(info.refRatio);
+}
+
+std::int64_t AmrCore::totalPoints() const {
+    std::int64_t n = 0;
+    for (int lev = 0; lev <= finestLevel_; ++lev) n += grids_[lev].numPts();
+    return n;
+}
+
+std::int64_t AmrCore::equivalentPoints() const {
+    std::int64_t n = geom_[0].domain().numPts();
+    for (int lev = 1; lev <= info_.maxLevel; ++lev) n *= info_.refRatio.product();
+    return n;
+}
+
+void AmrCore::setLevel(int lev, const BoxArray& ba, const DistributionMapping& dm) {
+    grids_[lev] = ba;
+    dmap_[lev] = dm;
+}
+
+BoxArray AmrCore::makeNewGrids(int lev, Real time) {
+    const int clev = lev - 1; // tags live on the coarser level
+    std::vector<IntVect> tags;
+    errorEst(clev, tags, time);
+    if (tags.empty()) return {};
+    tags = bufferTags(tags, info_.nErrorBuf, geom_[clev].domain());
+
+    ClusterParams cp;
+    cp.minEfficiency = info_.gridEff;
+    auto boxes = bergerRigoutsos(tags, cp);
+
+    // Fine boxes must be blocking-factor aligned; in the coarse index space
+    // that means alignment to bf / ratio.
+    const int align = info_.blockingFactor / info_.refRatio.max();
+    assert(align >= 1);
+    boxes = refineToBlockingFactor(std::move(boxes), align);
+    for (Box& b : boxes) b = b & geom_[clev].domain();
+
+    // Proper nesting: keep the new level properNestingBuffer coarse cells
+    // away from any in-domain region the parent level does not cover, so
+    // FillPatchTwoLevels never needs data from below the parent.
+    if (clev > 0) {
+        std::vector<Box> grownHoles;
+        for (const Box& hole : grids_[clev].complementIn(geom_[clev].domain()))
+            grownHoles.push_back(hole.grow(info_.properNestingBuffer));
+        std::vector<Box> nested;
+        for (const Box& b : boxes)
+            for (const Box& piece : boxDiff(b, grownHoles))
+                nested.push_back(piece);
+        boxes = std::move(nested);
+    }
+
+    boxes = chopToMaxSize(std::move(boxes), IntVect(info_.maxGridSize /
+                                                    info_.refRatio.min()));
+    boxes = refineToBlockingFactor(std::move(boxes), align);
+    for (Box& b : boxes) b = b & geom_[clev].domain();
+
+    // The blocking-factor rounding can make neighbors overlap; patches must
+    // be disjoint, so keep each region exactly once by subtracting the boxes
+    // already accepted. (Pieces may lose exact alignment, which only the
+    // rounding step cares about; disjointness is the hard invariant.)
+    std::vector<Box> unique;
+    for (const Box& b : boxes)
+        for (const Box& piece : boxDiff(b, unique))
+            unique.push_back(piece);
+
+    std::vector<Box> fine;
+    fine.reserve(unique.size());
+    for (const Box& b : unique) fine.push_back(b.refine(info_.refRatio));
+    if (fine.empty()) return {};
+    return BoxArray(std::move(fine));
+}
+
+void AmrCore::initGrids(Real time) {
+    const BoxArray ba0 = makeLevel0Grids(geom_[0].domain(), info_);
+    const DistributionMapping dm0(ba0, nranks_, info_.strategy);
+    setLevel(0, ba0, dm0);
+    finestLevel_ = 0;
+    makeNewLevelFromScratch(0, time, ba0, dm0);
+
+    for (int lev = 1; lev <= info_.maxLevel; ++lev) {
+        const BoxArray ba = makeNewGrids(lev, time);
+        if (ba.empty()) break;
+        const DistributionMapping dm(ba, nranks_, info_.strategy);
+        setLevel(lev, ba, dm);
+        finestLevel_ = lev;
+        // During initialization every level is built directly from the
+        // problem's initial condition (as amrex::AmrCore::InitFromScratch
+        // does); makeNewLevelFromCoarse is reserved for regrid-time growth.
+        makeNewLevelFromScratch(lev, time, ba, dm);
+    }
+}
+
+void AmrCore::regrid(int lbase, Real time) {
+    for (int lev = lbase + 1; lev <= info_.maxLevel; ++lev) {
+        if (lev > finestLevel_ + 1) break;
+        const BoxArray ba = makeNewGrids(lev, time);
+        if (ba.empty()) {
+            for (int l = finestLevel_; l >= lev; --l) {
+                clearLevel(l);
+                setLevel(l, BoxArray(), DistributionMapping());
+            }
+            finestLevel_ = lev - 1;
+            break;
+        }
+        const DistributionMapping dm(ba, nranks_, info_.strategy);
+        if (lev <= finestLevel_) {
+            if (ba == grids_[lev] && dm == dmap_[lev]) continue;
+            remakeLevel(lev, time, ba, dm);
+        } else {
+            makeNewLevelFromCoarse(lev, time, ba, dm);
+            finestLevel_ = lev;
+        }
+        setLevel(lev, ba, dm);
+    }
+}
+
+} // namespace crocco::amr

@@ -1,0 +1,100 @@
+#pragma once
+
+#include "amr/BoxArray.hpp"
+#include "amr/Cluster.hpp"
+#include "amr/DistributionMapping.hpp"
+#include "amr/Geometry.hpp"
+#include "parallel/SimComm.hpp"
+
+#include <vector>
+
+namespace crocco::amr {
+
+/// Static configuration of the AMR hierarchy — the paper's input-deck
+/// parameters (§III-B, §V-C: blocking factor 8, max grid size 128,
+/// refinement ratio 2).
+struct AmrInfo {
+    int maxLevel = 2;               ///< finest allowed level index
+    IntVect refRatio{2, 2, 2};      ///< refinement ratio between levels
+    int blockingFactor = 8;         ///< box bounds snap to multiples of this
+    int maxGridSize = 128;          ///< per-direction box size cap
+    int nErrorBuf = 2;              ///< cells to buffer around tagged cells
+    int properNestingBuffer = 4;    ///< coarse cells a fine level keeps from
+                                    ///< a coarse/uncovered boundary
+    double gridEff = 0.70;          ///< Berger-Rigoutsos efficiency target
+    DistributionMapping::Strategy strategy = DistributionMapping::Strategy::SFC;
+};
+
+/// The AMR level hierarchy: geometry, box layout, and ownership per level,
+/// plus regridding. Mirrors amrex::AmrCore.
+///
+/// Applications subclass this (see core::CroccoAmr) and implement the
+/// virtual hooks that move *state* when the grid hierarchy changes; this
+/// class owns only the grid metadata and the Berger-Rigoutsos machinery.
+class AmrCore {
+public:
+    AmrCore(const Geometry& geom0, const AmrInfo& info, int nranks = 1,
+            parallel::SimComm* comm = nullptr);
+    virtual ~AmrCore() = default;
+
+    int maxLevel() const { return info_.maxLevel; }
+    int finestLevel() const { return finestLevel_; }
+    const AmrInfo& info() const { return info_; }
+    const Geometry& geom(int lev) const { return geom_[lev]; }
+    const BoxArray& boxArray(int lev) const { return grids_[lev]; }
+    const DistributionMapping& dmap(int lev) const { return dmap_[lev]; }
+    IntVect refRatio() const { return info_.refRatio; }
+    parallel::SimComm* comm() const { return comm_; }
+    int numRanks() const { return nranks_; }
+
+    /// Active grid points over all levels (the paper's "actual grid points"
+    /// metric, 89-94% below the equivalent uniform-fine count for DMR).
+    std::int64_t totalPoints() const;
+
+    /// Grid points of the equivalent uniform grid at the finest level's
+    /// resolution (the paper's "# of equivalent grid points", Table I).
+    std::int64_t equivalentPoints() const;
+
+    /// Build level 0 over the whole domain, then add finer levels anywhere
+    /// errorEst tags, until maxLevel or no tags remain.
+    void initGrids(Real time);
+
+    /// Algorithm 1's Regrid(): rebuild levels lbase+1..maxLevel from fresh
+    /// error tags, calling the state-motion hooks for changed levels.
+    void regrid(int lbase, Real time);
+
+protected:
+    /// Tag cells of level `lev` needing refinement (in level-lev index space).
+    virtual void errorEst(int lev, std::vector<IntVect>& tags, Real time) = 0;
+
+    /// State-motion hooks, as in amrex::AmrCore.
+    virtual void makeNewLevelFromScratch(int lev, Real time, const BoxArray& ba,
+                                         const DistributionMapping& dm) = 0;
+    virtual void makeNewLevelFromCoarse(int lev, Real time, const BoxArray& ba,
+                                        const DistributionMapping& dm) = 0;
+    virtual void remakeLevel(int lev, Real time, const BoxArray& ba,
+                             const DistributionMapping& dm) = 0;
+    virtual void clearLevel(int lev) = 0;
+
+    /// Generate the new BoxArray for level `lev` from tags at `lev - 1`;
+    /// empty result means the level should not exist.
+    BoxArray makeNewGrids(int lev, Real time);
+
+    void setLevel(int lev, const BoxArray& ba, const DistributionMapping& dm);
+    void setFinestLevel(int lev) { finestLevel_ = lev; }
+
+private:
+    AmrInfo info_;
+    int nranks_;
+    parallel::SimComm* comm_;
+    int finestLevel_ = 0;
+    std::vector<Geometry> geom_;
+    std::vector<BoxArray> grids_;
+    std::vector<DistributionMapping> dmap_;
+};
+
+/// Chop `domain` into a level-0 BoxArray respecting maxGridSize and the
+/// blocking factor.
+BoxArray makeLevel0Grids(const Box& domain, const AmrInfo& info);
+
+} // namespace crocco::amr

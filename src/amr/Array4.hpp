@@ -1,0 +1,70 @@
+#pragma once
+
+#include "amr/Box.hpp"
+
+#include <cassert>
+#include <cstdint>
+
+namespace crocco::amr {
+
+using Real = double;
+
+/// Non-owning 4-D view of fab data: three spatial dimensions plus a
+/// component index, Fortran (i-fastest) layout with components outermost.
+/// Mirrors amrex::Array4 — the type numerics kernels receive, valid on both
+/// the host and the (simulated) device.
+template <typename T>
+struct Array4 {
+    T* p = nullptr;
+    IntVect lo;          ///< index of the first element in each dimension
+    std::int64_t jstride = 0;
+    std::int64_t kstride = 0;
+    std::int64_t nstride = 0;
+    int ncomp = 0;
+    /// Inclusive upper bound. Always present (the member must not depend on
+    /// NDEBUG, or mixed-configuration links would see different layouts);
+    /// only the bounds *checks* compile away in release builds.
+    IntVect hi;
+
+    Array4() = default;
+
+    Array4(T* ptr, const Box& b, int ncomponents)
+        : p(ptr),
+          lo(b.smallEnd()),
+          jstride(b.length(0)),
+          kstride(static_cast<std::int64_t>(b.length(0)) * b.length(1)),
+          nstride(b.numPts()),
+          ncomp(ncomponents),
+          hi(b.bigEnd()) {}
+
+    /// Implicit conversion to a const view.
+    operator Array4<const T>() const
+        requires(!std::is_const_v<T>)
+    {
+        Array4<const T> a;
+        a.p = p;
+        a.lo = lo;
+        a.jstride = jstride;
+        a.kstride = kstride;
+        a.nstride = nstride;
+        a.ncomp = ncomp;
+        a.hi = hi;
+        return a;
+    }
+
+    T& operator()(int i, int j, int k, int n = 0) const {
+#ifndef NDEBUG
+        assert(p != nullptr);
+        assert(i >= lo[0] && i <= hi[0]);
+        assert(j >= lo[1] && j <= hi[1]);
+        assert(k >= lo[2] && k <= hi[2]);
+        assert(n >= 0 && n < ncomp);
+#endif
+        return p[(i - lo[0]) + jstride * (j - lo[1]) + kstride * (k - lo[2]) +
+                 nstride * n];
+    }
+
+    bool valid() const { return p != nullptr; }
+};
+
+} // namespace crocco::amr

@@ -1,0 +1,32 @@
+#include "amr/Box.hpp"
+
+#include <cassert>
+#include <ostream>
+
+namespace crocco::amr {
+
+std::ostream& operator<<(std::ostream& os, const IntVect& iv) {
+    return os << '(' << iv[0] << ',' << iv[1] << ',' << iv[2] << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << '[' << b.smallEnd() << ' ' << b.bigEnd() << ']';
+}
+
+std::pair<Box, Box> Box::chop() const {
+    int d = 0;
+    for (int i = 1; i < SpaceDim; ++i)
+        if (length(i) > length(d)) d = i;
+    assert(length(d) >= 2);
+    return chop(d, lo_[d] + length(d) / 2);
+}
+
+std::pair<Box, Box> Box::chop(int d, int cut) const {
+    assert(cut > lo_[d] && cut <= hi_[d]);
+    IntVect lhi = hi_, rlo = lo_;
+    lhi[d] = cut - 1;
+    rlo[d] = cut;
+    return {Box(lo_, lhi), Box(rlo, hi_)};
+}
+
+} // namespace crocco::amr

@@ -1,0 +1,105 @@
+#include "amr/BoxArray.hpp"
+#include <algorithm>
+
+#include <cassert>
+
+namespace crocco::amr {
+
+BoxArray::BoxArray(std::vector<Box> boxes) : boxes_(std::move(boxes)) {
+    for ([[maybe_unused]] const Box& b : boxes_) assert(b.ok());
+}
+
+BoxArray::BoxArray(const Box& single) : boxes_{single} { assert(single.ok()); }
+
+std::int64_t BoxArray::numPts() const { return totalPts(boxes_); }
+
+Box BoxArray::minimalBox() const {
+    Box mb;
+    for (const Box& b : boxes_) mb = Box::bboxUnion(mb, b);
+    return mb;
+}
+
+const BoxArray::Hash& BoxArray::hash() const {
+    if (!hash_) {
+        auto h = std::make_shared<Hash>();
+        IntVect maxSize(1);
+        for (const Box& b : boxes_)
+            maxSize = IntVect::componentMax(maxSize, b.size());
+        h->bucketSize = maxSize;
+        for (int i = 0; i < size(); ++i) {
+            // A box spans at most 2 buckets per dimension when buckets are
+            // at least as large as the box.
+            const Box cb = boxes_[i].coarsen(maxSize);
+            forEachCell(cb, [&](int bi, int bj, int bk) {
+                h->buckets[IntVect{bi, bj, bk}].push_back(i);
+            });
+        }
+        hash_ = std::move(h);
+    }
+    return *hash_;
+}
+
+std::vector<std::pair<int, Box>> BoxArray::intersections(const Box& b) const {
+    std::vector<std::pair<int, Box>> out;
+    if (boxes_.empty() || !b.ok()) return out;
+    const Hash& h = hash();
+    const Box cb = b.coarsen(h.bucketSize);
+    // Candidate gather + sort/unique keeps the query O(candidates), not
+    // O(total boxes) — this is the hot path of ghost-exchange pattern
+    // extraction on 10^5-box layouts.
+    std::vector<int> candidates;
+    forEachCell(cb, [&](int bi, int bj, int bk) {
+        auto it = h.buckets.find(IntVect{bi, bj, bk});
+        if (it == h.buckets.end()) return;
+        candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+    });
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (int idx : candidates) {
+        const Box isect = boxes_[idx] & b;
+        if (isect.ok()) out.emplace_back(idx, isect);
+    }
+    return out;
+}
+
+bool BoxArray::intersects(const Box& b) const { return !intersections(b).empty(); }
+
+bool BoxArray::contains(const Box& b) const {
+    if (!b.ok()) return true;
+    std::vector<Box> covers;
+    for (const auto& [idx, isect] : intersections(b)) covers.push_back(isect);
+    return fullyCovered(b, covers);
+}
+
+bool BoxArray::contains(const IntVect& p) const {
+    return contains(Box(p, p));
+}
+
+std::vector<Box> BoxArray::complementIn(const Box& b) const {
+    std::vector<Box> covers;
+    for (const auto& [idx, isect] : intersections(b)) covers.push_back(isect);
+    return boxDiff(b, covers);
+}
+
+BoxArray BoxArray::coarsen(const IntVect& ratio) const {
+    std::vector<Box> out;
+    out.reserve(boxes_.size());
+    for (const Box& b : boxes_) out.push_back(b.coarsen(ratio));
+    return BoxArray(std::move(out));
+}
+
+BoxArray BoxArray::refine(const IntVect& ratio) const {
+    std::vector<Box> out;
+    out.reserve(boxes_.size());
+    for (const Box& b : boxes_) out.push_back(b.refine(ratio));
+    return BoxArray(std::move(out));
+}
+
+bool BoxArray::coarsenable(const IntVect& ratio) const {
+    for (const Box& b : boxes_)
+        if (!b.coarsenable(ratio)) return false;
+    return true;
+}
+
+} // namespace crocco::amr

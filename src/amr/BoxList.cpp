@@ -1,0 +1,90 @@
+#include "amr/BoxList.hpp"
+
+#include <cassert>
+
+namespace crocco::amr {
+
+std::vector<Box> boxDiff(const Box& a, const Box& b) {
+    std::vector<Box> out;
+    if (!a.ok()) return out;
+    const Box isect = a & b;
+    if (!isect.ok()) {
+        out.push_back(a);
+        return out;
+    }
+    // Peel off up to two slabs per dimension; what remains shrinks to the
+    // intersection, which is dropped.
+    Box rest = a;
+    for (int d = 0; d < SpaceDim; ++d) {
+        if (rest.smallEnd(d) < isect.smallEnd(d)) {
+            auto [left, right] = rest.chop(d, isect.smallEnd(d));
+            out.push_back(left);
+            rest = right;
+        }
+        if (rest.bigEnd(d) > isect.bigEnd(d)) {
+            auto [left, right] = rest.chop(d, isect.bigEnd(d) + 1);
+            out.push_back(right);
+            rest = left;
+        }
+    }
+    assert(rest == isect);
+    return out;
+}
+
+std::vector<Box> boxDiff(const Box& a, const std::vector<Box>& covers) {
+    std::vector<Box> remaining{a};
+    for (const Box& c : covers) {
+        std::vector<Box> next;
+        for (const Box& r : remaining) {
+            auto parts = boxDiff(r, c);
+            next.insert(next.end(), parts.begin(), parts.end());
+        }
+        remaining = std::move(next);
+        if (remaining.empty()) break;
+    }
+    return remaining;
+}
+
+std::int64_t totalPts(const std::vector<Box>& boxes) {
+    std::int64_t n = 0;
+    for (const Box& b : boxes) n += b.numPts();
+    return n;
+}
+
+bool fullyCovered(const Box& a, const std::vector<Box>& covers) {
+    return boxDiff(a, covers).empty();
+}
+
+std::vector<Box> chopToMaxSize(std::vector<Box> boxes, const IntVect& maxSize) {
+    std::vector<Box> out;
+    while (!boxes.empty()) {
+        Box b = boxes.back();
+        boxes.pop_back();
+        int d = -1;
+        for (int i = 0; i < SpaceDim; ++i)
+            if (b.length(i) > maxSize[i] && (d < 0 || b.length(i) > b.length(d))) d = i;
+        if (d < 0) {
+            out.push_back(b);
+        } else {
+            // Cut into pieces of at most maxSize[d], keeping pieces as even
+            // as possible so the load balancer sees similar box sizes.
+            const int n = b.length(d);
+            const int npieces = (n + maxSize[d] - 1) / maxSize[d];
+            const int target = (n + npieces - 1) / npieces;
+            auto [left, right] = b.chop(d, b.smallEnd(d) + target);
+            boxes.push_back(left);
+            boxes.push_back(right);
+        }
+    }
+    return out;
+}
+
+std::vector<Box> refineToBlockingFactor(std::vector<Box> boxes, int factor) {
+    for (Box& b : boxes) {
+        const IntVect f(factor);
+        b = b.coarsen(f).refine(f);
+    }
+    return boxes;
+}
+
+} // namespace crocco::amr

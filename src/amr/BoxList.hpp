@@ -1,0 +1,31 @@
+#pragma once
+
+#include "amr/Box.hpp"
+
+#include <vector>
+
+namespace crocco::amr {
+
+/// Set-algebra helpers on collections of boxes. These are the workhorses of
+/// regridding and ghost-region bookkeeping.
+
+/// The part of `a` not covered by `b`, as a list of disjoint boxes.
+std::vector<Box> boxDiff(const Box& a, const Box& b);
+
+/// The part of `a` not covered by any box in `covers`, as disjoint boxes.
+std::vector<Box> boxDiff(const Box& a, const std::vector<Box>& covers);
+
+/// Total number of cells across the (assumed disjoint) list.
+std::int64_t totalPts(const std::vector<Box>& boxes);
+
+/// True if every cell of `a` is covered by some box in `covers`.
+bool fullyCovered(const Box& a, const std::vector<Box>& covers);
+
+/// Chop every box in the list so no side exceeds maxSize cells.
+std::vector<Box> chopToMaxSize(std::vector<Box> boxes, const IntVect& maxSize);
+
+/// Round each box outward so its bounds are multiples of `factor`
+/// (the AMReX "blocking factor" constraint).
+std::vector<Box> refineToBlockingFactor(std::vector<Box> boxes, int factor);
+
+} // namespace crocco::amr

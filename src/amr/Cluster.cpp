@@ -1,0 +1,120 @@
+#include "amr/Cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace crocco::amr {
+
+namespace {
+
+Box boundingBox(const std::vector<IntVect>& tags) {
+    assert(!tags.empty());
+    IntVect lo = tags.front(), hi = tags.front();
+    for (const IntVect& t : tags) {
+        lo = IntVect::componentMin(lo, t);
+        hi = IntVect::componentMax(hi, t);
+    }
+    return {lo, hi};
+}
+
+/// Tag counts per plane along dimension d within bbox.
+std::vector<int> signature(const std::vector<IntVect>& tags, const Box& bbox, int d) {
+    std::vector<int> sig(bbox.length(d), 0);
+    for (const IntVect& t : tags) ++sig[t[d] - bbox.smallEnd(d)];
+    return sig;
+}
+
+void clusterRecurse(std::vector<IntVect> tags, const ClusterParams& params,
+                    std::vector<Box>& out) {
+    if (tags.empty()) return;
+    const Box bbox = boundingBox(tags);
+    const double eff = static_cast<double>(tags.size()) /
+                       static_cast<double>(bbox.numPts());
+    if (eff >= params.minEfficiency || bbox.size().max() <= params.minWidth) {
+        out.push_back(bbox);
+        return;
+    }
+
+    // Choose a cut plane. Priority: a hole in some signature; then the
+    // strongest zero-crossing of the signature Laplacian; then the midpoint
+    // of the longest dimension.
+    int cutDim = -1, cutIdx = 0;
+    for (int d = 0; d < SpaceDim && cutDim < 0; ++d) {
+        if (bbox.length(d) < 2 * params.minWidth) continue;
+        const auto sig = signature(tags, bbox, d);
+        for (int i = params.minWidth; i <= bbox.length(d) - params.minWidth; ++i) {
+            if (i < static_cast<int>(sig.size()) && sig[i] == 0) {
+                cutDim = d;
+                cutIdx = bbox.smallEnd(d) + i;
+                break;
+            }
+        }
+    }
+    if (cutDim < 0) {
+        int bestScore = -1;
+        for (int d = 0; d < SpaceDim; ++d) {
+            if (bbox.length(d) < 2 * params.minWidth) continue;
+            const auto sig = signature(tags, bbox, d);
+            std::vector<int> lap(sig.size(), 0);
+            for (std::size_t i = 1; i + 1 < sig.size(); ++i)
+                lap[i] = sig[i + 1] - 2 * sig[i] + sig[i - 1];
+            for (int i = params.minWidth; i <= bbox.length(d) - params.minWidth - 1;
+                 ++i) {
+                if (lap[i] * lap[i + 1] < 0) {
+                    const int score = std::abs(lap[i] - lap[i + 1]);
+                    if (score > bestScore) {
+                        bestScore = score;
+                        cutDim = d;
+                        cutIdx = bbox.smallEnd(d) + i + 1;
+                    }
+                }
+            }
+        }
+    }
+    if (cutDim < 0) {
+        for (int d = 0; d < SpaceDim; ++d)
+            if (cutDim < 0 || bbox.length(d) > bbox.length(cutDim))
+                if (bbox.length(d) >= 2 * params.minWidth) cutDim = d;
+        if (cutDim < 0) { // nothing splittable
+            out.push_back(bbox);
+            return;
+        }
+        cutIdx = bbox.smallEnd(cutDim) + bbox.length(cutDim) / 2;
+    }
+
+    std::vector<IntVect> left, right;
+    for (const IntVect& t : tags)
+        (t[cutDim] < cutIdx ? left : right).push_back(t);
+    if (left.empty() || right.empty()) { // degenerate cut; accept as-is
+        out.push_back(bbox);
+        return;
+    }
+    clusterRecurse(std::move(left), params, out);
+    clusterRecurse(std::move(right), params, out);
+}
+
+} // namespace
+
+std::vector<Box> bergerRigoutsos(const std::vector<IntVect>& tags,
+                                 const ClusterParams& params) {
+    std::vector<Box> out;
+    clusterRecurse(tags, params, out);
+    return out;
+}
+
+std::vector<IntVect> bufferTags(const std::vector<IntVect>& tags, int buf,
+                                const Box& domain) {
+    std::unordered_set<IntVect> set;
+    for (const IntVect& t : tags) {
+        for (int dk = -buf; dk <= buf; ++dk)
+            for (int dj = -buf; dj <= buf; ++dj)
+                for (int di = -buf; di <= buf; ++di) {
+                    const IntVect p{t[0] + di, t[1] + dj, t[2] + dk};
+                    if (domain.contains(p)) set.insert(p);
+                }
+    }
+    return {set.begin(), set.end()};
+}
+
+} // namespace crocco::amr

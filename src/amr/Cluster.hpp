@@ -1,0 +1,34 @@
+#pragma once
+
+#include "amr/Box.hpp"
+
+#include <vector>
+
+namespace crocco::amr {
+
+/// Parameters of the Berger-Rigoutsos grid generation algorithm.
+struct ClusterParams {
+    /// Minimum fraction of tagged cells a produced box must contain before
+    /// the algorithm stops splitting it (AMReX grid_eff).
+    double minEfficiency = 0.70;
+    /// Boxes at or below this many cells per side are never split further.
+    int minWidth = 2;
+};
+
+/// Berger-Rigoutsos point clustering: cover the tagged cells with a small
+/// set of boxes, each reasonably "full" of tags.
+///
+/// The classic signature algorithm: take the bounding box of the tags; if it
+/// is efficient enough, accept it; otherwise split at a hole in the tag
+/// signature (per-plane tag counts), else at the strongest inflection of the
+/// signature's second difference, else at the midpoint — and recurse.
+std::vector<Box> bergerRigoutsos(const std::vector<IntVect>& tags,
+                                 const ClusterParams& params = {});
+
+/// Grow each tag by `buf` cells in every direction (AMReX n_error_buf),
+/// clipped to `domain` — ensures features cannot escape the refined region
+/// between regrids.
+std::vector<IntVect> bufferTags(const std::vector<IntVect>& tags, int buf,
+                                const Box& domain);
+
+} // namespace crocco::amr

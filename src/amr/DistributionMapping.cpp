@@ -1,0 +1,102 @@
+#include "amr/DistributionMapping.hpp"
+
+#include "amr/Morton.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace crocco::amr {
+
+namespace {
+
+std::vector<int> sfcAssign(const BoxArray& ba, int nranks) {
+    const int n = ba.size();
+    // Order boxes by the Morton index of their small end. Box corners are
+    // shifted to be non-negative first (Morton needs a non-negative lattice).
+    const Box mb = ba.minimalBox();
+    const IntVect shift = -mb.smallEnd();
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::uint64_t> code(n);
+    for (int i = 0; i < n; ++i) code[i] = mortonIndex(ba[i].smallEnd() + shift);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return code[a] < code[b]; });
+
+    // Walk the curve, cutting a new chunk whenever the running total passes
+    // the ideal per-rank share.
+    const double total = static_cast<double>(ba.numPts());
+    const double share = total / nranks;
+    std::vector<int> owner(n, 0);
+    double acc = 0.0;
+    int rank = 0;
+    for (int i : order) {
+        owner[i] = rank;
+        acc += static_cast<double>(ba[i].numPts());
+        while (rank < nranks - 1 && acc >= share * (rank + 1)) ++rank;
+    }
+    return owner;
+}
+
+std::vector<int> knapsackAssign(const BoxArray& ba, int nranks) {
+    // Largest-first greedy into the currently lightest rank.
+    const int n = ba.size();
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return ba[a].numPts() > ba[b].numPts();
+    });
+    using Load = std::pair<std::int64_t, int>; // (points, rank)
+    std::priority_queue<Load, std::vector<Load>, std::greater<>> heap;
+    for (int r = 0; r < nranks; ++r) heap.emplace(0, r);
+    std::vector<int> owner(n, 0);
+    for (int i : order) {
+        auto [pts, r] = heap.top();
+        heap.pop();
+        owner[i] = r;
+        heap.emplace(pts + ba[i].numPts(), r);
+    }
+    return owner;
+}
+
+} // namespace
+
+DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
+                                         Strategy strategy)
+    : nranks_(nranks) {
+    assert(nranks >= 1);
+    switch (strategy) {
+        case Strategy::SFC:
+            owner_ = sfcAssign(ba, nranks);
+            break;
+        case Strategy::Knapsack:
+            owner_ = knapsackAssign(ba, nranks);
+            break;
+        case Strategy::RoundRobin:
+            owner_.resize(ba.size());
+            for (int i = 0; i < ba.size(); ++i) owner_[i] = i % nranks;
+            break;
+    }
+}
+
+DistributionMapping::DistributionMapping(std::vector<int> owners, int nranks)
+    : owner_(std::move(owners)), nranks_(nranks) {
+    for ([[maybe_unused]] int o : owner_) assert(o >= 0 && o < nranks_);
+}
+
+std::vector<std::int64_t> DistributionMapping::pointsPerRank(const BoxArray& ba) const {
+    assert(ba.size() == size());
+    std::vector<std::int64_t> pts(nranks_, 0);
+    for (int i = 0; i < size(); ++i) pts[owner_[i]] += ba[i].numPts();
+    return pts;
+}
+
+double DistributionMapping::imbalance(const BoxArray& ba) const {
+    const auto pts = pointsPerRank(ba);
+    const std::int64_t maxPts = *std::max_element(pts.begin(), pts.end());
+    const double mean = static_cast<double>(ba.numPts()) / nranks_;
+    return mean > 0 ? static_cast<double>(maxPts) / mean : 1.0;
+}
+
+} // namespace crocco::amr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "amr/BoxArray.hpp"
+
+#include <vector>
+
+namespace crocco::amr {
+
+/// Assignment of each box in a BoxArray to an owning MPI rank.
+///
+/// The default strategy reproduces AMReX's: order boxes along a Z-Morton
+/// space-filling curve through their centers, then split the curve into
+/// contiguous chunks with approximately equal total cell counts (SFC
+/// strategy). A knapsack strategy is provided as an ablation comparator.
+class DistributionMapping {
+public:
+    enum class Strategy { SFC, Knapsack, RoundRobin };
+
+    DistributionMapping() = default;
+
+    /// Build a mapping of `ba` over `nranks` ranks with the given strategy.
+    DistributionMapping(const BoxArray& ba, int nranks,
+                        Strategy strategy = Strategy::SFC);
+
+    /// Explicit mapping (mainly for tests).
+    DistributionMapping(std::vector<int> owners, int nranks);
+
+    int operator[](int boxIndex) const { return owner_[boxIndex]; }
+    int size() const { return static_cast<int>(owner_.size()); }
+    int numRanks() const { return nranks_; }
+    const std::vector<int>& owners() const { return owner_; }
+
+    /// Total cells owned by each rank, for load-balance diagnostics.
+    std::vector<std::int64_t> pointsPerRank(const BoxArray& ba) const;
+
+    /// max(points per rank) / mean(points per rank); 1.0 is perfect.
+    double imbalance(const BoxArray& ba) const;
+
+    bool operator==(const DistributionMapping& o) const {
+        return owner_ == o.owner_ && nranks_ == o.nranks_;
+    }
+
+private:
+    std::vector<int> owner_;
+    int nranks_ = 1;
+};
+
+} // namespace crocco::amr

@@ -1,0 +1,96 @@
+#include "amr/FArrayBox.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crocco::amr {
+
+FArrayBox::FArrayBox(const Box& b, int ncomp, Real initial)
+    : box_(b), ncomp_(ncomp), data_(static_cast<std::size_t>(b.numPts()) * ncomp, initial) {
+    assert(b.ok() && ncomp >= 1);
+}
+
+Real& FArrayBox::operator()(const IntVect& p, int n) {
+    assert(box_.contains(p) && n >= 0 && n < ncomp_);
+    return data_[static_cast<std::size_t>(box_.index(p) + box_.numPts() * n)];
+}
+
+Real FArrayBox::operator()(const IntVect& p, int n) const {
+    assert(box_.contains(p) && n >= 0 && n < ncomp_);
+    return data_[static_cast<std::size_t>(box_.index(p) + box_.numPts() * n)];
+}
+
+void FArrayBox::setVal(Real v) {
+    for (Real& x : data_) x = v;
+}
+
+void FArrayBox::setVal(Real v, const Box& region, int comp, int ncomp) {
+    const Box r = region & box_;
+    auto a = array();
+    for (int n = comp; n < comp + ncomp; ++n)
+        forEachCell(r, [&](int i, int j, int k) { a(i, j, k, n) = v; });
+}
+
+void FArrayBox::copyFrom(const FArrayBox& src, const Box& region, int srcComp,
+                         int destComp, int numComp, const IntVect& srcShift) {
+    const Box r = region & box_;
+    assert(src.box().contains(r.shift(srcShift)));
+    assert(srcComp + numComp <= src.nComp() && destComp + numComp <= ncomp_);
+    auto d = array();
+    auto s = src.const_array();
+    for (int n = 0; n < numComp; ++n)
+        forEachCell(r, [&](int i, int j, int k) {
+            d(i, j, k, destComp + n) =
+                s(i + srcShift[0], j + srcShift[1], k + srcShift[2], srcComp + n);
+        });
+}
+
+void FArrayBox::saxpy(Real a, const FArrayBox& src, const Box& region, int srcComp,
+                      int destComp, int numComp) {
+    const Box r = region & box_ & src.box();
+    auto d = array();
+    auto s = src.const_array();
+    for (int n = 0; n < numComp; ++n)
+        forEachCell(r, [&](int i, int j, int k) {
+            d(i, j, k, destComp + n) += a * s(i, j, k, srcComp + n);
+        });
+}
+
+Real FArrayBox::min(const Box& region, int comp) const {
+    const Box r = region & box_;
+    Real m = std::numeric_limits<Real>::infinity();
+    auto a = const_array();
+    forEachCell(r, [&](int i, int j, int k) { m = std::min(m, a(i, j, k, comp)); });
+    return m;
+}
+
+Real FArrayBox::max(const Box& region, int comp) const {
+    const Box r = region & box_;
+    Real m = -std::numeric_limits<Real>::infinity();
+    auto a = const_array();
+    forEachCell(r, [&](int i, int j, int k) { m = std::max(m, a(i, j, k, comp)); });
+    return m;
+}
+
+Real FArrayBox::sum(const Box& region, int comp) const {
+    const Box r = region & box_;
+    Real s = 0.0;
+    auto a = const_array();
+    forEachCell(r, [&](int i, int j, int k) { s += a(i, j, k, comp); });
+    return s;
+}
+
+Real FArrayBox::l2Diff(const FArrayBox& a, const FArrayBox& b, const Box& region,
+                       int comp) {
+    const Box r = region & a.box() & b.box();
+    Real s = 0.0;
+    auto aa = a.const_array();
+    auto bb = b.const_array();
+    forEachCell(r, [&](int i, int j, int k) {
+        const Real d = aa(i, j, k, comp) - bb(i, j, k, comp);
+        s += d * d;
+    });
+    return std::sqrt(s);
+}
+
+} // namespace crocco::amr

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "amr/Array4.hpp"
+#include "amr/Box.hpp"
+
+#include <vector>
+
+namespace crocco::amr {
+
+/// A multi-component array of Reals defined over a Box (including any ghost
+/// region — the box here is the *allocated* region). Mirrors
+/// amrex::FArrayBox: Fortran-order storage, components outermost.
+class FArrayBox {
+public:
+    FArrayBox() = default;
+    FArrayBox(const Box& b, int ncomp, Real initial = 0.0);
+
+    const Box& box() const { return box_; }
+    int nComp() const { return ncomp_; }
+    std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+    Array4<Real> array() { return {data_.data(), box_, ncomp_}; }
+    Array4<const Real> const_array() const { return {data_.data(), box_, ncomp_}; }
+
+    Real& operator()(const IntVect& p, int n = 0);
+    Real operator()(const IntVect& p, int n = 0) const;
+
+    void setVal(Real v);
+    void setVal(Real v, const Box& region, int comp, int ncomp);
+
+    /// this(region, destComp..) = src(region shifted by srcShift, srcComp..).
+    /// `region` is in *this* fab's index space.
+    void copyFrom(const FArrayBox& src, const Box& region, int srcComp,
+                  int destComp, int numComp, const IntVect& srcShift = IntVect::zero());
+
+    /// this += a * src over region (used by RK accumulation and testing).
+    void saxpy(Real a, const FArrayBox& src, const Box& region, int srcComp,
+               int destComp, int numComp);
+
+    Real min(const Box& region, int comp) const;
+    Real max(const Box& region, int comp) const;
+    Real sum(const Box& region, int comp) const;
+
+    /// L2 norm of the difference over region (the paper's §IV-A validation
+    /// metric between Fortran and C++ kernels).
+    static Real l2Diff(const FArrayBox& a, const FArrayBox& b, const Box& region,
+                       int comp);
+
+    bool ok() const { return !data_.empty(); }
+
+private:
+    Box box_;
+    int ncomp_ = 0;
+    std::vector<Real> data_;
+};
+
+} // namespace crocco::amr

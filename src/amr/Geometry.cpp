@@ -1,0 +1,43 @@
+#include "amr/Geometry.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace crocco::amr {
+
+Geometry::Geometry(const Box& domain, const std::array<Real, 3>& probLo,
+                   const std::array<Real, 3>& probHi, Periodicity per)
+    : domain_(domain), probLo_(probLo), probHi_(probHi), per_(per) {
+    assert(domain.ok());
+    for (int d = 0; d < SpaceDim; ++d) {
+        assert(probHi[d] > probLo[d]);
+        dx_[d] = (probHi[d] - probLo[d]) / domain.length(d);
+    }
+}
+
+Geometry Geometry::refine(const IntVect& ratio) const {
+    return Geometry(domain_.refine(ratio), probLo_, probHi_, per_);
+}
+
+Geometry Geometry::coarsen(const IntVect& ratio) const {
+    assert(domain_.coarsenable(ratio));
+    return Geometry(domain_.coarsen(ratio), probLo_, probHi_, per_);
+}
+
+std::vector<IntVect> Geometry::periodicShifts() const {
+    std::vector<IntVect> shifts;
+    const IntVect len = domain_.size();
+    for (int sk = -1; sk <= 1; ++sk) {
+        if (sk != 0 && !per_.isPeriodic(2)) continue;
+        for (int sj = -1; sj <= 1; ++sj) {
+            if (sj != 0 && !per_.isPeriodic(1)) continue;
+            for (int si = -1; si <= 1; ++si) {
+                if (si != 0 && !per_.isPeriodic(0)) continue;
+                shifts.push_back(IntVect{si * len[0], sj * len[1], sk * len[2]});
+            }
+        }
+    }
+    return shifts;
+}
+
+} // namespace crocco::amr

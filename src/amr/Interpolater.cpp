@@ -1,0 +1,218 @@
+#include "amr/Interpolater.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace crocco::amr {
+
+namespace {
+
+/// Coarse fractional coordinate of a fine cell center: the position of fine
+/// cell `ifine` in units of coarse cells, measured from coarse cell-center
+/// `0`. E.g. at ratio 2, fine cell 0 sits at coarse coordinate -0.25.
+inline double coarseFrac(int ifine, int ratio) {
+    return (ifine + 0.5) / ratio - 0.5;
+}
+
+inline double minmod(double a, double b) {
+    if (a * b <= 0.0) return 0.0;
+    return std::abs(a) < std::abs(b) ? a : b;
+}
+
+} // namespace
+
+void PCInterp::doInterp(const FArrayBox& crse, FArrayBox& fine, const Box& fineRegion,
+                      int srcComp, int destComp, int numComp, const IntVect& ratio,
+                      const InterpContext&) const {
+    auto c = crse.const_array();
+    auto f = fine.array();
+    for (int n = 0; n < numComp; ++n) {
+        forEachCell(fineRegion, [&](int i, int j, int k) {
+            const IntVect cc = IntVect{i, j, k}.coarsen(ratio);
+            f(i, j, k, destComp + n) = c(cc[0], cc[1], cc[2], srcComp + n);
+        });
+    }
+}
+
+void TrilinearInterp::doInterp(const FArrayBox& crse, FArrayBox& fine,
+                             const Box& fineRegion, int srcComp, int destComp,
+                             int numComp, const IntVect& ratio,
+                             const InterpContext&) const {
+    auto c = crse.const_array();
+    auto f = fine.array();
+    forEachCell(fineRegion, [&](int i, int j, int k) {
+        const IntVect fi{i, j, k};
+        int base[3];
+        double w[3];
+        for (int d = 0; d < SpaceDim; ++d) {
+            const double xc = coarseFrac(fi[d], ratio[d]);
+            base[d] = static_cast<int>(std::floor(xc));
+            w[d] = xc - base[d];
+        }
+        for (int n = 0; n < numComp; ++n) {
+            double v = 0.0;
+            for (int dk = 0; dk <= 1; ++dk)
+                for (int dj = 0; dj <= 1; ++dj)
+                    for (int di = 0; di <= 1; ++di) {
+                        const double wt = (di ? w[0] : 1 - w[0]) *
+                                          (dj ? w[1] : 1 - w[1]) *
+                                          (dk ? w[2] : 1 - w[2]);
+                        v += wt * c(base[0] + di, base[1] + dj, base[2] + dk,
+                                    srcComp + n);
+                    }
+            f(i, j, k, destComp + n) = v;
+        }
+    });
+}
+
+void CellConservativeLinear::doInterp(const FArrayBox& crse, FArrayBox& fine,
+                                    const Box& fineRegion, int srcComp,
+                                    int destComp, int numComp, const IntVect& ratio,
+                                    const InterpContext&) const {
+    auto c = crse.const_array();
+    auto f = fine.array();
+    forEachCell(fineRegion, [&](int i, int j, int k) {
+        const IntVect fi{i, j, k};
+        const IntVect cc = fi.coarsen(ratio);
+        for (int n = 0; n < numComp; ++n) {
+            double v = c(cc[0], cc[1], cc[2], srcComp + n);
+            for (int d = 0; d < SpaceDim; ++d) {
+                IntVect up = cc, dn = cc;
+                up[d] += 1;
+                dn[d] -= 1;
+                const double u0 = c(cc[0], cc[1], cc[2], srcComp + n);
+                const double slope =
+                    minmod(c(up[0], up[1], up[2], srcComp + n) - u0,
+                           u0 - c(dn[0], dn[1], dn[2], srcComp + n));
+                // Offset of this fine cell center from its coarse parent's
+                // center, in coarse cell widths. Children's offsets average
+                // to zero, so the coarse mean is preserved exactly.
+                const double off =
+                    (fi[d] - cc[d] * ratio[d] + 0.5) / ratio[d] - 0.5;
+                v += slope * off;
+            }
+            f(i, j, k, destComp + n) = v;
+        }
+    });
+}
+
+void CurvilinearInterp::doInterp(const FArrayBox& crse, FArrayBox& fine,
+                               const Box& fineRegion, int srcComp, int destComp,
+                               int numComp, const IntVect& ratio,
+                               const InterpContext& ctx) const {
+    assert(ctx.crseCoords && ctx.fineCoords);
+    auto c = crse.const_array();
+    auto f = fine.array();
+    auto cx = ctx.crseCoords->const_array();
+    auto fx = ctx.fineCoords->const_array();
+    forEachCell(fineRegion, [&](int i, int j, int k) {
+        const IntVect fi{i, j, k};
+        int base[3];
+        for (int d = 0; d < SpaceDim; ++d)
+            base[d] = static_cast<int>(std::floor(coarseFrac(fi[d], ratio[d])));
+
+        // Per-dimension weight from *physical* positions: project the fine
+        // point onto the coarse grid line through the base cell. On a
+        // uniform grid this reduces exactly to the trilinear weights.
+        double w[3];
+        for (int d = 0; d < SpaceDim; ++d) {
+            IntVect a{base[0], base[1], base[2]};
+            IntVect b = a;
+            b[d] += 1;
+            double dot = 0.0, len2 = 0.0;
+            for (int m = 0; m < 3; ++m) {
+                const double e = cx(b[0], b[1], b[2], m) - cx(a[0], a[1], a[2], m);
+                const double r = fx(i, j, k, m) - cx(a[0], a[1], a[2], m);
+                dot += r * e;
+                len2 += e * e;
+            }
+            w[d] = std::clamp(dot / len2, 0.0, 1.0);
+        }
+        for (int n = 0; n < numComp; ++n) {
+            double v = 0.0;
+            for (int dk = 0; dk <= 1; ++dk)
+                for (int dj = 0; dj <= 1; ++dj)
+                    for (int di = 0; di <= 1; ++di) {
+                        const double wt = (di ? w[0] : 1 - w[0]) *
+                                          (dj ? w[1] : 1 - w[1]) *
+                                          (dk ? w[2] : 1 - w[2]);
+                        v += wt * c(base[0] + di, base[1] + dj, base[2] + dk,
+                                    srcComp + n);
+                    }
+            f(i, j, k, destComp + n) = v;
+        }
+    });
+}
+
+namespace {
+
+/// One-dimensional WENO interpolation at fractional position x (in units of
+/// the sample spacing, measured from sample u1 of the four samples
+/// u0..u3 at positions -1, 0, 1, 2; x must lie in [0, 1]).
+///
+/// Two quadratic stencils {u0,u1,u2} and {u1,u2,u3} are blended with the
+/// Neville linear weights (which reproduce the full cubic on smooth data)
+/// modulated by Jiang-Shu-style smoothness indicators so the blend falls
+/// back to the smoother stencil at a discontinuity.
+double weno4(double u0, double u1, double u2, double u3, double x) {
+    // Quadratic Lagrange interpolants evaluated at x.
+    const double q0 = u1 + 0.5 * x * (u2 - u0) + 0.5 * x * x * (u2 - 2 * u1 + u0);
+    const double xm = x - 1.0; // position relative to u2 for the right stencil
+    const double q1 = u2 + 0.5 * xm * (u3 - u1) + 0.5 * xm * xm * (u3 - 2 * u2 + u1);
+    // Neville weights combining the quadratics into the cubic.
+    const double g1 = (x + 1.0) / 3.0;
+    const double g0 = 1.0 - g1;
+    // Smoothness of each stencil.
+    const double b0 = (u2 - 2 * u1 + u0) * (u2 - 2 * u1 + u0) +
+                      0.25 * (u2 - u0) * (u2 - u0);
+    const double b1 = (u3 - 2 * u2 + u1) * (u3 - 2 * u2 + u1) +
+                      0.25 * (u3 - u1) * (u3 - u1);
+    const double eps = 1e-6;
+    const double a0 = g0 / ((eps + b0) * (eps + b0));
+    const double a1 = g1 / ((eps + b1) * (eps + b1));
+    return (a0 * q0 + a1 * q1) / (a0 + a1);
+}
+
+} // namespace
+
+void WenoInterp::doInterp(const FArrayBox& crse, FArrayBox& fine,
+                        const Box& fineRegion, int srcComp, int destComp,
+                        int numComp, const IntVect& ratio,
+                        const InterpContext&) const {
+    auto c = crse.const_array();
+    auto f = fine.array();
+    forEachCell(fineRegion, [&](int i, int j, int k) {
+        const IntVect fi{i, j, k};
+        int base[3];
+        double x[3];
+        for (int d = 0; d < SpaceDim; ++d) {
+            const double xc = coarseFrac(fi[d], ratio[d]);
+            base[d] = static_cast<int>(std::floor(xc));
+            x[d] = xc - base[d];
+        }
+        for (int n = 0; n < numComp; ++n) {
+            // Dimension-by-dimension sweep over the 4x4x4 coarse block:
+            // i-lines first, then j, then k.
+            double lineJ[4][4];
+            for (int dk = -1; dk <= 2; ++dk) {
+                for (int dj = -1; dj <= 2; ++dj) {
+                    lineJ[dk + 1][dj + 1] =
+                        weno4(c(base[0] - 1, base[1] + dj, base[2] + dk, srcComp + n),
+                              c(base[0], base[1] + dj, base[2] + dk, srcComp + n),
+                              c(base[0] + 1, base[1] + dj, base[2] + dk, srcComp + n),
+                              c(base[0] + 2, base[1] + dj, base[2] + dk, srcComp + n),
+                              x[0]);
+                }
+            }
+            double lineK[4];
+            for (int dk = 0; dk < 4; ++dk)
+                lineK[dk] = weno4(lineJ[dk][0], lineJ[dk][1], lineJ[dk][2],
+                                  lineJ[dk][3], x[1]);
+            f(i, j, k, destComp + n) =
+                weno4(lineK[0], lineK[1], lineK[2], lineK[3], x[2]);
+        }
+    });
+}
+
+} // namespace crocco::amr

@@ -1,0 +1,120 @@
+#pragma once
+
+#include "amr/FArrayBox.hpp"
+
+namespace crocco::amr {
+
+/// Per-fab context handed to interpolators that need physical coordinates
+/// (the curvilinear scheme of §III-C). Both fabs hold 3 components (x, y, z)
+/// at cell centers and must cover the regions the interpolator reads.
+struct InterpContext {
+    const FArrayBox* crseCoords = nullptr;
+    const FArrayBox* fineCoords = nullptr;
+};
+
+/// Fine-from-coarse interpolation across AMR levels (mirrors
+/// amrex::Interpolater). Implementations fill fine cells of `fineRegion`
+/// from coarse data; `crse` must cover fineRegion.coarsen(ratio) grown by
+/// nGrowCoarse() cells.
+class Interpolater {
+public:
+    virtual ~Interpolater() = default;
+
+    /// Coarse ghost cells required around the coarsened fine region.
+    virtual int nGrowCoarse() const = 0;
+
+    /// True for interpolators that read physical coordinates from the
+    /// InterpContext (the curvilinear scheme). FillPatchTwoLevels prepares
+    /// the coarse coordinate temp — via the global ParallelCopy the paper
+    /// profiles — only when this is set.
+    virtual bool needsCoordinates() const { return false; }
+
+    /// Non-virtual entry point (defaulted context) dispatching to doInterp.
+    void interp(const FArrayBox& crse, FArrayBox& fine, const Box& fineRegion,
+                int srcComp, int destComp, int numComp, const IntVect& ratio,
+                const InterpContext& ctx = {}) const {
+        doInterp(crse, fine, fineRegion, srcComp, destComp, numComp, ratio, ctx);
+    }
+
+protected:
+    virtual void doInterp(const FArrayBox& crse, FArrayBox& fine,
+                          const Box& fineRegion, int srcComp, int destComp,
+                          int numComp, const IntVect& ratio,
+                          const InterpContext& ctx) const = 0;
+};
+
+/// Piecewise-constant injection: each fine cell takes its coarse parent's
+/// value. Conservative, 1st order. Used for grid metrics bootstrap and as a
+/// property-test baseline.
+class PCInterp final : public Interpolater {
+public:
+    int nGrowCoarse() const override { return 0; }
+
+protected:
+    void doInterp(const FArrayBox& crse, FArrayBox& fine, const Box& fineRegion,
+                  int srcComp, int destComp, int numComp, const IntVect& ratio,
+                  const InterpContext& ctx) const override;
+};
+
+/// Tensor-product linear interpolation with uniform-grid weights — the
+/// stand-in for AMReX's built-in nodal trilinear interpolator used by
+/// CRoCCo 2.1. Fine cell centers sit at fixed fractional offsets of the
+/// coarse lattice, so weights are compile-time rationals (multiples of 1/4
+/// at ratio 2) and no coordinate data or global communication is needed.
+class TrilinearInterp final : public Interpolater {
+public:
+    int nGrowCoarse() const override { return 1; }
+
+protected:
+    void doInterp(const FArrayBox& crse, FArrayBox& fine, const Box& fineRegion,
+                  int srcComp, int destComp, int numComp, const IntVect& ratio,
+                  const InterpContext& ctx) const override;
+};
+
+/// Cell-conservative linear interpolation: per-coarse-cell limited slopes
+/// (minmod), preserving the coarse cell mean exactly. The conservative
+/// Cartesian comparator for the conservation property tests.
+class CellConservativeLinear final : public Interpolater {
+public:
+    int nGrowCoarse() const override { return 1; }
+
+protected:
+    void doInterp(const FArrayBox& crse, FArrayBox& fine, const Box& fineRegion,
+                  int srcComp, int destComp, int numComp, const IntVect& ratio,
+                  const InterpContext& ctx) const override;
+};
+
+/// CRoCCo's custom curvilinear interpolator (§III-C): trilinear in *physical*
+/// space. On a curvilinear grid fine cells are not halfway between coarse
+/// cells, so per-dimension weights are computed from stored physical
+/// coordinates of the fine target and its enclosing coarse cells. Requires
+/// the InterpContext coordinate fabs; exact for fields linear in the
+/// physical coordinates, but (as the paper notes) not conservative across
+/// interfaces.
+class CurvilinearInterp final : public Interpolater {
+public:
+    int nGrowCoarse() const override { return 1; }
+    bool needsCoordinates() const override { return true; }
+
+protected:
+    void doInterp(const FArrayBox& crse, FArrayBox& fine, const Box& fineRegion,
+                  int srcComp, int destComp, int numComp, const IntVect& ratio,
+                  const InterpContext& ctx) const override;
+};
+
+/// High-order WENO interpolation — the bandwidth-optimized conservative
+/// scheme the paper describes as in development (§III-C, "future work").
+/// Dimension-by-dimension 4-point reconstruction with smoothness-weighted
+/// two-stencil blending: 4th-order on smooth data, degrading to one-sided
+/// near discontinuities to avoid ringing across fine/coarse interfaces.
+class WenoInterp final : public Interpolater {
+public:
+    int nGrowCoarse() const override { return 2; }
+
+protected:
+    void doInterp(const FArrayBox& crse, FArrayBox& fine, const Box& fineRegion,
+                  int srcComp, int destComp, int numComp, const IntVect& ratio,
+                  const InterpContext& ctx) const override;
+};
+
+} // namespace crocco::amr

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "amr/MultiFab.hpp"
+
+namespace crocco::amr {
+
+/// Fab iterator in the AMReX idiom (mirrors amrex::MFIter): the canonical
+/// way kernels walk a MultiFab. On a real MPI build it visits only the
+/// calling rank's fabs; here it can do the same (restrictToRank) so tests
+/// can exercise the rank-local view, or visit everything (the in-process
+/// default).
+///
+///   for (MFIter mfi(mf); mfi.isValid(); ++mfi) {
+///       auto a = mf.array(mfi.index());
+///       forEachCell(mfi.validBox(), ...);
+///   }
+class MFIter {
+public:
+    /// Visit every fab of `mf`.
+    explicit MFIter(const MultiFab& mf) : mf_(&mf), rank_(-1) { advance(); }
+
+    /// Visit only the fabs owned by `rank` (the distributed-run view).
+    MFIter(const MultiFab& mf, int rank) : mf_(&mf), rank_(rank) { advance(); }
+
+    bool isValid() const { return idx_ < mf_->numFabs(); }
+    void operator++() {
+        ++idx_;
+        advance();
+    }
+
+    /// Index of the current fab within the MultiFab/BoxArray.
+    int index() const { return idx_; }
+    /// Valid (non-ghost) region of the current fab.
+    const Box& validBox() const { return mf_->validBox(idx_); }
+    /// Allocated region (valid + ghosts).
+    Box grownBox() const { return mf_->grownBox(idx_); }
+    /// Valid region grown by n (clipped to the allocation by the caller).
+    Box growntileBox(int n) const { return mf_->validBox(idx_).grow(n); }
+    /// Owning rank of the current fab.
+    int owner() const { return mf_->distributionMap()[idx_]; }
+
+private:
+    void advance() {
+        while (idx_ < mf_->numFabs() && rank_ >= 0 &&
+               mf_->distributionMap()[idx_] != rank_) {
+            ++idx_;
+        }
+    }
+
+    const MultiFab* mf_;
+    int rank_;
+    int idx_ = 0;
+};
+
+} // namespace crocco::amr

@@ -1,0 +1,45 @@
+#include "amr/Morton.hpp"
+
+#include <cassert>
+
+namespace crocco::amr {
+
+namespace {
+
+// Spread the low 21 bits of x so consecutive bits land 3 apart.
+std::uint64_t spreadBits3(std::uint64_t x) {
+    x &= 0x1fffffull;
+    x = (x | (x << 32)) & 0x1f00000000ffffull;
+    x = (x | (x << 16)) & 0x1f0000ff0000ffull;
+    x = (x | (x << 8)) & 0x100f00f00f00f00full;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3ull;
+    x = (x | (x << 2)) & 0x1249249249249249ull;
+    return x;
+}
+
+std::uint64_t compactBits3(std::uint64_t x) {
+    x &= 0x1249249249249249ull;
+    x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3ull;
+    x = (x ^ (x >> 4)) & 0x100f00f00f00f00full;
+    x = (x ^ (x >> 8)) & 0x1f0000ff0000ffull;
+    x = (x ^ (x >> 16)) & 0x1f00000000ffffull;
+    x = (x ^ (x >> 32)) & 0x1fffffull;
+    return x;
+}
+
+} // namespace
+
+std::uint64_t mortonIndex(const IntVect& p) {
+    assert(p[0] >= 0 && p[1] >= 0 && p[2] >= 0);
+    return spreadBits3(static_cast<std::uint64_t>(p[0])) |
+           (spreadBits3(static_cast<std::uint64_t>(p[1])) << 1) |
+           (spreadBits3(static_cast<std::uint64_t>(p[2])) << 2);
+}
+
+IntVect mortonDecode(std::uint64_t code) {
+    return {static_cast<int>(compactBits3(code)),
+            static_cast<int>(compactBits3(code >> 1)),
+            static_cast<int>(compactBits3(code >> 2))};
+}
+
+} // namespace crocco::amr

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "amr/IntVect.hpp"
+
+#include <cstdint>
+
+namespace crocco::amr {
+
+/// Z-Morton space-filling curve index for 3-D lattice points.
+///
+/// AMReX's default load balancer orders boxes along a Z-Morton curve and then
+/// splits the curve into contiguous chunks per rank; we reproduce that here
+/// (see DistributionMapping). Each coordinate contributes up to 21 bits, so
+/// indices up to 2^21-1 per dimension are supported — far beyond the largest
+/// paper configuration (4.19e10 points is ~3475 cells per side).
+std::uint64_t mortonIndex(const IntVect& p);
+
+/// Inverse of mortonIndex (for testing round-trips).
+IntVect mortonDecode(std::uint64_t code);
+
+} // namespace crocco::amr

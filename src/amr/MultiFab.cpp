@@ -1,0 +1,160 @@
+#include "amr/MultiFab.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crocco::amr {
+
+MultiFab::MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
+                   int ngrow, parallel::SimComm* comm) {
+    define(ba, dm, ncomp, ngrow, comm);
+}
+
+void MultiFab::define(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
+                      int ngrow, parallel::SimComm* comm) {
+    assert(ba.size() == dm.size());
+    assert(ncomp >= 1 && ngrow >= 0);
+    ba_ = ba;
+    dm_ = dm;
+    ncomp_ = ncomp;
+    ngrow_ = ngrow;
+    comm_ = comm;
+    fabs_.clear();
+    fabs_.reserve(ba.size());
+    for (int i = 0; i < ba.size(); ++i) fabs_.emplace_back(ba[i].grow(ngrow), ncomp);
+}
+
+void MultiFab::setVal(Real v) {
+    for (FArrayBox& f : fabs_) f.setVal(v);
+}
+
+void MultiFab::setVal(Real v, int comp, int ncomp) {
+    for (FArrayBox& f : fabs_) f.setVal(v, f.box(), comp, ncomp);
+}
+
+void MultiFab::fillBoundary(const Geometry& geom) {
+    const auto shifts = geom.periodicShifts();
+    for (int i = 0; i < numFabs(); ++i) {
+        // Ghost region of fab i = allocated box minus valid box.
+        for (const Box& g : boxDiff(grownBox(i), ba_[i])) {
+            for (const IntVect& s : shifts) {
+                // A ghost cell at index p is filled from valid cell p + s of
+                // a periodic image (s == 0 covers interior neighbors).
+                for (const auto& [j, isect] : ba_.intersections(g.shift(s))) {
+                    const Box dstRegion = isect.shift(-s);
+                    fabs_[i].copyFrom(fabs_[j], dstRegion, 0, 0, ncomp_, s);
+                    if (comm_) {
+                        comm_->recordP2P(dm_[j], dm_[i],
+                                         isect.numPts() * ncomp_ *
+                                             static_cast<std::int64_t>(sizeof(Real)),
+                                         "FillBoundary");
+                    }
+                }
+            }
+        }
+    }
+}
+
+void MultiFab::parallelCopy(const MultiFab& src, int srcComp, int destComp,
+                            int numComp, int dstNGrow, int srcNGrow,
+                            const std::string& tag,
+                            const Geometry* geomForPeriodicity) {
+    assert(dstNGrow <= ngrow_ && srcNGrow <= src.nGrow());
+    assert(srcComp + numComp <= src.nComp() && destComp + numComp <= ncomp_);
+    std::vector<IntVect> shifts{IntVect::zero()};
+    if (geomForPeriodicity) shifts = geomForPeriodicity->periodicShifts();
+    for (int i = 0; i < numFabs(); ++i) {
+        const Box dstRegion = ba_[i].grow(dstNGrow);
+        for (const IntVect& s : shifts) {
+            // A dst cell at index p receives src cell p + s (s != 0 reaches
+            // across a periodic boundary into the domain image). The hash
+            // query is over ungrown boxes, so widen it by srcNGrow and
+            // re-intersect against the grown source box.
+            for (const auto& [j, coarse] : src.boxArray().intersections(
+                     dstRegion.shift(s).grow(srcNGrow))) {
+                const Box isect =
+                    src.boxArray()[j].grow(srcNGrow) & dstRegion.shift(s);
+                if (!isect.ok()) continue;
+                (void)coarse;
+                fabs_[i].copyFrom(src.fab(j), isect.shift(-s), srcComp, destComp,
+                                  numComp, s);
+                if (comm_ && dm_[i] != src.distributionMap()[j]) {
+                    comm_->recordMessage(src.distributionMap()[j], dm_[i],
+                                         isect.numPts() * numComp *
+                                             static_cast<std::int64_t>(sizeof(Real)),
+                                         parallel::MessageKind::ParallelCopy, tag);
+                }
+            }
+        }
+    }
+}
+
+void MultiFab::mult(Real a, int comp, int numComp) {
+    assert(comp + numComp <= ncomp_);
+    for (int i = 0; i < numFabs(); ++i) {
+        auto arr = fabs_[i].array();
+        for (int n = comp; n < comp + numComp; ++n)
+            forEachCell(fabs_[i].box(), [&](int ii, int j, int k) {
+                arr(ii, j, k, n) *= a;
+            });
+    }
+}
+
+void MultiFab::copy(MultiFab& dst, const MultiFab& src, int srcComp, int destComp,
+                    int numComp, int ngrow) {
+    assert(dst.boxArray() == src.boxArray());
+    assert(ngrow <= dst.nGrow() && ngrow <= src.nGrow());
+    for (int i = 0; i < dst.numFabs(); ++i) {
+        dst.fabs_[i].copyFrom(src.fab(i), dst.ba_[i].grow(ngrow), srcComp,
+                              destComp, numComp);
+    }
+}
+
+void MultiFab::saxpy(MultiFab& dst, Real a, const MultiFab& src, int srcComp,
+                     int destComp, int numComp) {
+    assert(dst.boxArray() == src.boxArray());
+    for (int i = 0; i < dst.numFabs(); ++i)
+        dst.fabs_[i].saxpy(a, src.fab(i), dst.ba_[i], srcComp, destComp, numComp);
+}
+
+Real MultiFab::min(int comp) const {
+    Real m = std::numeric_limits<Real>::infinity();
+    for (int i = 0; i < numFabs(); ++i) m = std::min(m, fabs_[i].min(ba_[i], comp));
+    return m;
+}
+
+Real MultiFab::max(int comp) const {
+    Real m = -std::numeric_limits<Real>::infinity();
+    for (int i = 0; i < numFabs(); ++i) m = std::max(m, fabs_[i].max(ba_[i], comp));
+    return m;
+}
+
+Real MultiFab::sum(int comp) const {
+    Real s = 0.0;
+    for (int i = 0; i < numFabs(); ++i) s += fabs_[i].sum(ba_[i], comp);
+    return s;
+}
+
+Real MultiFab::norm2(int comp) const {
+    Real s = 0.0;
+    for (int i = 0; i < numFabs(); ++i) {
+        auto a = const_array(i);
+        forEachCell(ba_[i], [&](int ii, int j, int k) {
+            const Real v = a(ii, j, k, comp);
+            s += v * v;
+        });
+    }
+    return std::sqrt(s);
+}
+
+Real MultiFab::l2Diff(const MultiFab& a, const MultiFab& b, int comp) {
+    assert(a.boxArray() == b.boxArray());
+    Real s = 0.0;
+    for (int i = 0; i < a.numFabs(); ++i) {
+        const Real d = FArrayBox::l2Diff(a.fab(i), b.fab(i), a.ba_[i], comp);
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+} // namespace crocco::amr

@@ -1,0 +1,91 @@
+#include "chem/Reaction.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace crocco::chem {
+
+ReactionMechanism::ReactionMechanism(ThermoTable thermo,
+                                     std::vector<Reaction> reactions)
+    : thermo_(std::move(thermo)), reactions_(std::move(reactions)) {
+    // Every reaction must conserve mass: sum nu' W = sum nu'' W.
+    for ([[maybe_unused]] const Reaction& r : reactions_) {
+        Real in = 0.0, out = 0.0;
+        for (std::size_t i = 0; i < r.reactantIdx.size(); ++i)
+            in += r.reactantNu[i] * thermo_.species(r.reactantIdx[i]).molWeight;
+        for (std::size_t i = 0; i < r.productIdx.size(); ++i)
+            out += r.productNu[i] * thermo_.species(r.productIdx[i]).molWeight;
+        assert(std::abs(in - out) < 1e-9 * in);
+    }
+}
+
+void ReactionMechanism::productionRates(const Real* rhoS, Real T, Real* wdot) const {
+    const int ns = thermo_.nSpecies();
+    std::fill(wdot, wdot + ns, 0.0);
+    if (T <= 0.0) return;
+    for (const Reaction& r : reactions_) {
+        // Molar rate from concentrations [X_s] = rho_s / W_s (kmol/m^3).
+        Real q = r.A * std::pow(T, r.b) * std::exp(-r.Ta / T);
+        for (std::size_t i = 0; i < r.reactantIdx.size(); ++i) {
+            const int s = r.reactantIdx[i];
+            const Real conc =
+                std::max(rhoS[s], 0.0) / thermo_.species(s).molWeight;
+            q *= std::pow(conc, r.reactantNu[i]);
+        }
+        for (std::size_t i = 0; i < r.reactantIdx.size(); ++i) {
+            const int s = r.reactantIdx[i];
+            wdot[s] -= r.reactantNu[i] * thermo_.species(s).molWeight * q;
+        }
+        for (std::size_t i = 0; i < r.productIdx.size(); ++i) {
+            const int s = r.productIdx[i];
+            wdot[s] += r.productNu[i] * thermo_.species(s).molWeight * q;
+        }
+    }
+}
+
+int ReactionMechanism::advance(Real* rhoS, Real& T, Real dt) const {
+    const int ns = thermo_.nSpecies();
+    std::vector<Real> wdot(static_cast<std::size_t>(ns));
+    // Constant-volume, constant-internal-energy reactor: the invariant is
+    // e = sum rho_s (cv_s T + h_s°); after each substep T is re-derived
+    // from it, so heat release shows up as a temperature rise.
+    const Real e0 = thermo_.internalEnergy(rhoS, T);
+    Real remaining = dt;
+    int steps = 0;
+    while (remaining > 0.0 && steps < 100000) {
+        productionRates(rhoS, T, wdot.data());
+        // Stability: limit the substep so no species loses more than 20%
+        // of its mass (explicit handling of the stiff source).
+        Real h = remaining;
+        for (int s = 0; s < ns; ++s) {
+            if (wdot[static_cast<std::size_t>(s)] < 0.0 && rhoS[s] > 0.0) {
+                h = std::min(h, -0.2 * rhoS[s] / wdot[static_cast<std::size_t>(s)]);
+            }
+        }
+        h = std::max(h, remaining * 1e-6); // never stall
+        for (int s = 0; s < ns; ++s) {
+            rhoS[s] = std::max(0.0, rhoS[s] + h * wdot[static_cast<std::size_t>(s)]);
+        }
+        T = thermo_.temperature(rhoS, e0);
+        remaining -= h;
+        ++steps;
+    }
+    return steps;
+}
+
+ReactionMechanism ReactionMechanism::hydrogenOxygen() {
+    ThermoTable thermo = ThermoTable::hydrogenAir();
+    Reaction r;
+    r.reactantIdx = {thermo.indexOf("H2"), thermo.indexOf("O2")};
+    r.reactantNu = {2.0, 1.0};
+    r.productIdx = {thermo.indexOf("H2O")};
+    r.productNu = {2.0};
+    r.A = 6.0e7; // tuned for ignition on millisecond scales at ~1200 K
+    r.b = 0.0;
+    r.Ta = 8000.0;
+    return ReactionMechanism(std::move(thermo), {r});
+}
+
+} // namespace crocco::chem

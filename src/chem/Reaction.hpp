@@ -1,0 +1,48 @@
+#pragma once
+
+#include "chem/Thermo.hpp"
+
+namespace crocco::chem {
+
+/// One irreversible Arrhenius reaction: sum nu'_s S_s -> sum nu''_s S_s
+/// with molar rate q = A T^b exp(-Ta/T) * prod [X_s]^nu'_s. Produces the
+/// species mass production rates w_s of the paper's Eq. 1.
+struct Reaction {
+    std::vector<int> reactantIdx;
+    std::vector<Real> reactantNu;  ///< stoichiometric coefficients nu'
+    std::vector<int> productIdx;
+    std::vector<Real> productNu;   ///< nu''
+    Real A = 0.0;                  ///< pre-exponential factor
+    Real b = 0.0;                  ///< temperature exponent
+    Real Ta = 0.0;                 ///< activation temperature, K
+};
+
+/// A reaction mechanism over a ThermoTable: evaluates w_s (kg/m^3/s) from
+/// partial densities and temperature, and integrates the (stiff) reaction
+/// source over a flow time step with error-controlled explicit substeps —
+/// the operator-split chemistry update of a reacting DNS.
+class ReactionMechanism {
+public:
+    ReactionMechanism(ThermoTable thermo, std::vector<Reaction> reactions);
+
+    const ThermoTable& thermo() const { return thermo_; }
+    int nReactions() const { return static_cast<int>(reactions_.size()); }
+
+    /// Mass production rate of each species (sums to zero exactly).
+    void productionRates(const Real* rhoS, Real T, Real* wdot) const;
+
+    /// Advance partial densities over dt at constant volume and constant
+    /// total internal energy (heat release raises T through the formation
+    /// enthalpies). Substeps adaptively; returns the number of substeps.
+    int advance(Real* rhoS, Real& T, Real dt) const;
+
+    /// The single-step hydrogen-oxidation model used by the tests:
+    /// 2 H2 + O2 -> 2 H2O over ThermoTable::hydrogenAir().
+    static ReactionMechanism hydrogenOxygen();
+
+private:
+    ThermoTable thermo_;
+    std::vector<Reaction> reactions_;
+};
+
+} // namespace crocco::chem

@@ -1,0 +1,95 @@
+#include "chem/Thermo.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace crocco::chem {
+
+ThermoTable::ThermoTable(std::vector<Species> species)
+    : species_(std::move(species)) {
+    assert(!species_.empty());
+    for ([[maybe_unused]] const Species& s : species_) {
+        assert(s.molWeight > 0 && s.cv > 0);
+    }
+}
+
+int ThermoTable::indexOf(const std::string& name) const {
+    for (int s = 0; s < nSpecies(); ++s)
+        if (species_[static_cast<std::size_t>(s)].name == name) return s;
+    throw std::out_of_range("unknown species: " + name);
+}
+
+Real ThermoTable::mixtureDensity(const Real* rhoS) const {
+    Real rho = 0.0;
+    for (int s = 0; s < nSpecies(); ++s) rho += rhoS[s];
+    return rho;
+}
+
+Real ThermoTable::mixtureCv(const Real* rhoS) const {
+    Real cv = 0.0;
+    const Real rho = mixtureDensity(rhoS);
+    for (int s = 0; s < nSpecies(); ++s)
+        cv += rhoS[s] * species_[static_cast<std::size_t>(s)].cv;
+    return cv / rho;
+}
+
+Real ThermoTable::mixtureR(const Real* rhoS) const {
+    Real r = 0.0;
+    const Real rho = mixtureDensity(rhoS);
+    for (int s = 0; s < nSpecies(); ++s) r += rhoS[s] * Rs(s);
+    return r / rho;
+}
+
+Real ThermoTable::temperature(const Real* rhoS, Real internalEnergy) const {
+    // e = sum_s rho_s (cv_s T + h_s°)  (Eq. 2 without the kinetic term)
+    Real rhoCv = 0.0, chem = 0.0;
+    for (int s = 0; s < nSpecies(); ++s) {
+        rhoCv += rhoS[s] * species_[static_cast<std::size_t>(s)].cv;
+        chem += rhoS[s] * species_[static_cast<std::size_t>(s)].hFormation;
+    }
+    return (internalEnergy - chem) / rhoCv;
+}
+
+Real ThermoTable::internalEnergy(const Real* rhoS, Real T) const {
+    Real e = 0.0;
+    for (int s = 0; s < nSpecies(); ++s) {
+        const Species& sp = species_[static_cast<std::size_t>(s)];
+        e += rhoS[s] * (sp.cv * T + sp.hFormation);
+    }
+    return e;
+}
+
+Real ThermoTable::pressure(const Real* rhoS, Real T) const {
+    Real p = 0.0;
+    for (int s = 0; s < nSpecies(); ++s) p += rhoS[s] * Rs(s) * T;
+    return p;
+}
+
+Real ThermoTable::soundSpeed(const Real* rhoS, Real T) const {
+    const Real cv = mixtureCv(rhoS);
+    const Real R = mixtureR(rhoS);
+    const Real gamma = (cv + R) / cv;
+    return std::sqrt(gamma * R * T);
+}
+
+ThermoTable ThermoTable::hydrogenAir() {
+    // Representative constant-cv values near combustion temperatures.
+    // Molecular weights are built from exactly H = 1.008 and O = 16.000 so
+    // reaction stoichiometry balances mass to round-off, not just to the
+    // precision of tabulated atomic weights.
+    return ThermoTable({
+        {"H2", 2.016, 10200.0, 0.0},
+        {"O2", 32.000, 700.0, 0.0},
+        {"H2O", 18.016, 1700.0, -13.4e6},
+        {"N2", 28.014, 760.0, 0.0},
+        {"OH", 17.008, 1300.0, 2.3e6},
+    });
+}
+
+ThermoTable ThermoTable::singleGas(Real gamma, Real Rgas) {
+    const Real molWeight = universalGasConstant / Rgas;
+    return ThermoTable({{"gas", molWeight, Rgas / (gamma - 1.0), 0.0}});
+}
+
+} // namespace crocco::chem

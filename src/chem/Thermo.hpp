@@ -1,0 +1,76 @@
+#pragma once
+
+#include "amr/Array4.hpp"
+
+#include <string>
+#include <vector>
+
+namespace crocco::chem {
+
+using amr::Real;
+
+/// One chemical species: calorically perfect within the model, with a
+/// formation enthalpy so reaction heat release is thermodynamically
+/// consistent (the h_s° of the paper's Eq. 2).
+struct Species {
+    std::string name;
+    Real molWeight;   ///< kg/kmol
+    Real cv;          ///< specific heat at constant volume, J/(kg K)
+    Real hFormation;  ///< heat of formation at the reference state, J/kg
+};
+
+/// Mixture thermodynamics for the multispecies governing equations (paper
+/// Eq. 1-2): total energy
+///
+///   E = sum_s rho_s cv_s T + rho |u|^2 / 2 + sum_s rho_s h_s°
+///
+/// with pressure from Dalton's law of partial pressures. CRoCCo's DNS mode
+/// solves these equations for chemically reacting hypersonic flows; the DMR
+/// benchmark uses the single-species degenerate case.
+class ThermoTable {
+public:
+    explicit ThermoTable(std::vector<Species> species);
+
+    int nSpecies() const { return static_cast<int>(species_.size()); }
+    const Species& species(int s) const { return species_[static_cast<std::size_t>(s)]; }
+    int indexOf(const std::string& name) const;
+
+    static constexpr Real universalGasConstant = 8314.462618; // J/(kmol K)
+
+    /// Specific gas constant of species s.
+    Real Rs(int s) const {
+        return universalGasConstant / species_[static_cast<std::size_t>(s)].molWeight;
+    }
+
+    /// Mixture density from partial densities.
+    Real mixtureDensity(const Real* rhoS) const;
+
+    /// Mass-weighted mixture cv and gas constant.
+    Real mixtureCv(const Real* rhoS) const;
+    Real mixtureR(const Real* rhoS) const;
+
+    /// Temperature from partial densities and the *internal* energy density
+    /// e = E - rho|u|^2/2 (inverts Eq. 2; linear in T for this model).
+    Real temperature(const Real* rhoS, Real internalEnergy) const;
+
+    /// Internal energy density from partial densities and temperature.
+    Real internalEnergy(const Real* rhoS, Real T) const;
+
+    Real pressure(const Real* rhoS, Real T) const;
+
+    /// Frozen sound speed: a^2 = gamma_mix R_mix T.
+    Real soundSpeed(const Real* rhoS, Real T) const;
+
+    /// A ready-made 5-species air + hydrogen set for the combustion tests
+    /// (H2, O2, H2O, N2, OH) with representative constants.
+    static ThermoTable hydrogenAir();
+
+    /// Single-species perfect gas equivalent to core::GasModel (gamma,
+    /// Rgas) — the degenerate case the DMR benchmark runs.
+    static ThermoTable singleGas(Real gamma, Real Rgas);
+
+private:
+    std::vector<Species> species_;
+};
+
+} // namespace crocco::chem

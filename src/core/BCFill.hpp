@@ -1,0 +1,47 @@
+#pragma once
+
+#include "amr/FillPatch.hpp"
+#include "core/State.hpp"
+
+#include <array>
+
+namespace crocco::core {
+
+using amr::Box;
+using amr::Geometry;
+using amr::MultiFab;
+
+/// Physical boundary condition type of one domain face.
+enum class BCType {
+    Periodic,  ///< handled by FillBoundary, not here
+    Outflow,   ///< zeroth-order extrapolation (supersonic outflow)
+    Dirichlet, ///< fixed external state (supersonic inflow)
+    SlipWall,  ///< inviscid wall: mirror with normal momentum flipped
+    NoSlipWall ///< viscous wall: mirror with all momentum flipped
+};
+
+/// One face's condition; `state` is used only for Dirichlet.
+struct FaceBC {
+    BCType type = BCType::Outflow;
+    std::array<Real, NCONS> state{};
+};
+
+/// Per-face physical BC specification: [dim][side] with side 0 = low face.
+struct BCSpec {
+    FaceBC face[3][2];
+};
+
+/// CRoCCo's BC_Fill kernel (Algorithm 2) for the standard condition types:
+/// fills every ghost cell of `mf` outside a non-periodic domain face
+/// according to `spec`. Problems with bespoke boundaries (DMR's mixed,
+/// time-dependent top/bottom) wrap this with their own PhysBCFunct.
+void applyBCs(MultiFab& mf, const Geometry& geom, const BCSpec& spec);
+
+/// Convenience adapter to the amr::PhysBCFunct signature.
+amr::PhysBCFunct makeBCFunct(const BCSpec& spec);
+
+/// Ghost regions of `fab` beyond face (dim, side) of the domain, where
+/// side 0 is the low face. Exposed for custom BC functors.
+Box ghostRegionOutside(const Box& fabBox, const Box& domain, int dim, int side);
+
+} // namespace crocco::core

@@ -1,0 +1,46 @@
+#include "core/ComputeDt.hpp"
+
+#include "gpu/Gpu.hpp"
+#include "mesh/GridMetrics.hpp"
+
+#include <cmath>
+
+namespace crocco::core {
+
+using mesh::metric1;
+
+Real computeDtFab(const Array4<const Real>& S, const Array4<const Real>& metrics,
+                  const amr::Box& validBox, const std::array<Real, 3>& dxi,
+                  const GasModel& gas, Real cfl) {
+    return gpu::ReduceMin(validBox, [&](int i, int j, int k) {
+        const Prim q = toPrim(S, i, j, k, gas);
+        Real wave = 0.0;
+        for (int d = 0; d < 3; ++d) {
+            const Real m0 = metrics(i, j, k, metric1(d, 0));
+            const Real m1 = metrics(i, j, k, metric1(d, 1));
+            const Real m2 = metrics(i, j, k, metric1(d, 2));
+            const Real uhat = m0 * q.u + m1 * q.v + m2 * q.w;
+            const Real gradXi = std::sqrt(m0 * m0 + m1 * m1 + m2 * m2);
+            wave += (std::abs(uhat) + q.a * gradXi) / dxi[static_cast<std::size_t>(d)];
+        }
+        return cfl / wave;
+    });
+}
+
+Real computeDt(const amr::MultiFab& U, const amr::MultiFab& metrics,
+               const amr::Geometry& geom, const GasModel& gas, Real cfl) {
+    auto* comm = U.comm();
+    const int nranks = comm ? comm->size() : 1;
+    std::vector<double> perRank(static_cast<std::size_t>(nranks),
+                                std::numeric_limits<double>::infinity());
+    for (int i = 0; i < U.numFabs(); ++i) {
+        const Real dt = computeDtFab(U.const_array(i), metrics.const_array(i),
+                                     U.validBox(i), geom.cellSizeArray(), gas, cfl);
+        auto& slot = perRank[static_cast<std::size_t>(U.distributionMap()[i])];
+        slot = std::min(slot, static_cast<double>(dt));
+    }
+    if (comm) return comm->reduceRealMin(perRank, "ComputeDt");
+    return *std::min_element(perRank.begin(), perRank.end());
+}
+
+} // namespace crocco::core

@@ -1,0 +1,360 @@
+#include "core/CroccoAmr.hpp"
+
+#include "core/Rk3.hpp"
+#include "mesh/GridMetrics.hpp"
+
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace crocco::core {
+
+using amr::Box;
+using amr::BoxArray;
+using amr::DistributionMapping;
+using amr::IntVect;
+using amr::MultiFab;
+
+CroccoAmr::Config CroccoAmr::Config::forVersion(CodeVersion v) {
+    Config c;
+    switch (v) {
+        case CodeVersion::V10:
+            c.variant = KernelVariant::FortranStyle;
+            c.amrInfo.maxLevel = 0;
+            break;
+        case CodeVersion::V11:
+            c.variant = KernelVariant::Portable;
+            c.amrInfo.maxLevel = 0;
+            break;
+        case CodeVersion::V12:
+        case CodeVersion::V20:
+            c.variant = KernelVariant::Portable;
+            c.interp = InterpChoice::Curvilinear;
+            break;
+        case CodeVersion::V21:
+            c.variant = KernelVariant::Portable;
+            c.interp = InterpChoice::Trilinear;
+            break;
+    }
+    return c;
+}
+
+CroccoAmr::CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
+                     std::shared_ptr<const mesh::Mapping> mapping,
+                     parallel::SimComm* comm)
+    : amr::AmrCore(geom0, cfg.amrInfo, cfg.nranks, comm), cfg_(cfg),
+      mapping_(std::move(mapping)) {
+    // Coordinates carry 3 extra ghost layers beyond the state so the
+    // metrics' 4th-order stencils reach (see mesh::computeMetrics).
+    coordStore_ = std::make_unique<mesh::CoordStore>(
+        mapping_, geom0, cfg.amrInfo.refRatio, cfg.amrInfo.maxLevel, NGHOST + 3,
+        cfg.coordMode, cfg.coordFileDir);
+    const int nlev = cfg.amrInfo.maxLevel + 1;
+    U_.resize(nlev);
+    G_.resize(nlev);
+    coords_.resize(nlev);
+    metrics_.resize(nlev);
+    switch (cfg.interp) {
+        case InterpChoice::Curvilinear:
+            interp_ = std::make_unique<amr::CurvilinearInterp>();
+            break;
+        case InterpChoice::Trilinear:
+            interp_ = std::make_unique<amr::TrilinearInterp>();
+            break;
+        case InterpChoice::Weno:
+            interp_ = std::make_unique<amr::WenoInterp>();
+            break;
+        case InterpChoice::ConservativeLinear:
+            interp_ = std::make_unique<amr::CellConservativeLinear>();
+            break;
+    }
+}
+
+const amr::Interpolater& CroccoAmr::interpolater() const { return *interp_; }
+
+void CroccoAmr::init(InitFunct initialCondition, amr::PhysBCFunct physBC) {
+    init_ = std::move(initialCondition);
+    physBC_ = std::move(physBC);
+    perf::TinyProfiler::Scope scope(prof_, "InitGrid");
+    initGrids(time_);
+}
+
+void CroccoAmr::defineLevelData(int lev, const BoxArray& ba,
+                                const DistributionMapping& dm) {
+    U_[lev].define(ba, dm, NCONS, NGHOST, comm());
+    G_[lev].define(ba, dm, NCONS, 0, comm());
+    G_[lev].setVal(0.0);
+    coords_[lev].define(ba, dm, 3, NGHOST + 3, comm());
+    metrics_[lev].define(ba, dm, mesh::MetricComps, NGHOST, comm());
+    {
+        perf::TinyProfiler::Scope scope(prof_, "InitGridMetrics");
+        coordStore_->getCoords(coords_[lev], lev);
+        mesh::computeMetrics(coords_[lev], metrics_[lev], geom(lev));
+    }
+}
+
+void CroccoAmr::makeNewLevelFromScratch(int lev, Real /*time*/, const BoxArray& ba,
+                                        const DistributionMapping& dm) {
+    defineLevelData(lev, ba, dm);
+    perf::TinyProfiler::Scope scope(prof_, "InitFlow");
+    assert(init_);
+    for (int f = 0; f < U_[lev].numFabs(); ++f) {
+        auto u = U_[lev].array(f);
+        auto x = coords_[lev].const_array(f);
+        amr::forEachCell(U_[lev].validBox(f), [&](int i, int j, int k) {
+            const auto s = init_(x(i, j, k, 0), x(i, j, k, 1), x(i, j, k, 2));
+            for (int n = 0; n < NCONS; ++n) u(i, j, k, n) = s[static_cast<std::size_t>(n)];
+        });
+    }
+}
+
+void CroccoAmr::makeNewLevelFromCoarse(int lev, Real time, const BoxArray& ba,
+                                       const DistributionMapping& dm) {
+    defineLevelData(lev, ba, dm);
+    amr::InterpFromCoarseLevel(U_[lev], U_[lev - 1], geom(lev), geom(lev - 1),
+                               refRatio(), interpolater(), physBC_, physBC_, time,
+                               &coords_[lev], &coords_[lev - 1]);
+}
+
+void CroccoAmr::remakeLevel(int lev, Real time, const BoxArray& ba,
+                            const DistributionMapping& dm) {
+    MultiFab newU(ba, dm, NCONS, NGHOST, comm());
+    MultiFab newG(ba, dm, NCONS, 0, comm());
+    newG.setVal(0.0);
+    MultiFab newCoords(ba, dm, 3, NGHOST + 3, comm());
+    MultiFab newMetrics(ba, dm, mesh::MetricComps, NGHOST, comm());
+    {
+        perf::TinyProfiler::Scope scope(prof_, "InitGridMetrics");
+        coordStore_->getCoords(newCoords, lev);
+        mesh::computeMetrics(newCoords, newMetrics, geom(lev));
+    }
+    // Newly uncovered regions come from coarse interpolation; regions the
+    // old level already resolved keep their fine data.
+    amr::InterpFromCoarseLevel(newU, U_[lev - 1], geom(lev), geom(lev - 1),
+                               refRatio(), interpolater(), physBC_, physBC_, time,
+                               &newCoords, &coords_[lev - 1]);
+    newU.parallelCopy(U_[lev], 0, 0, NCONS, 0, 0, "Regrid");
+    U_[lev] = std::move(newU);
+    G_[lev] = std::move(newG);
+    coords_[lev] = std::move(newCoords);
+    metrics_[lev] = std::move(newMetrics);
+}
+
+void CroccoAmr::clearLevel(int lev) {
+    U_[lev] = MultiFab();
+    G_[lev] = MultiFab();
+    coords_[lev] = MultiFab();
+    metrics_[lev] = MultiFab();
+}
+
+void CroccoAmr::errorEst(int lev, std::vector<IntVect>& tags, Real /*time*/) {
+    MultiFab Sborder(boxArray(lev), dmap(lev), NCONS, NGHOST, comm());
+    fillPatch(lev, Sborder);
+    tagCells(Sborder, cfg_.tagging, tags);
+}
+
+void CroccoAmr::fillPatch(int lev, MultiFab& dst) {
+    perf::TinyProfiler::Scope scope(prof_, "FillPatch");
+    if (lev == 0) {
+        amr::FillPatchSingleLevel(dst, U_[0], geom(0), physBC_, time_);
+    } else {
+        amr::FillPatchTwoLevels(dst, U_[lev], U_[lev - 1], geom(lev),
+                                geom(lev - 1), refRatio(), interpolater(),
+                                physBC_, physBC_, time_, &coords_[lev],
+                                &coords_[lev - 1]);
+    }
+}
+
+Real CroccoAmr::computeDtAllLevels() {
+    perf::TinyProfiler::Scope scope(prof_, "ComputeDt");
+    Real dt = std::numeric_limits<Real>::infinity();
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        dt = std::min(dt, computeDt(U_[lev], metrics_[lev], geom(lev), cfg_.gas,
+                                    cfg_.cfl));
+    }
+    return dt;
+}
+
+void CroccoAmr::computeRhs(int lev, const MultiFab& Sborder, MultiFab& dU) {
+    const auto dxi = geom(lev).cellSizeArray();
+    static const char* wenoNames[3] = {"WENOx", "WENOy", "WENOz"};
+    for (int dir = 0; dir < 3; ++dir) {
+        perf::TinyProfiler::Scope scope(prof_, wenoNames[dir]);
+        for (int f = 0; f < dU.numFabs(); ++f) {
+            wenoFlux(dir, Sborder.const_array(f), metrics_[lev].const_array(f),
+                     dU.validBox(f), dU.array(f), dxi[static_cast<std::size_t>(dir)],
+                     cfg_.gas, cfg_.scheme, cfg_.variant, cfg_.recon);
+        }
+    }
+    if (cfg_.gas.viscous() || cfg_.sgs.active()) {
+        perf::TinyProfiler::Scope scope(prof_, "Viscous");
+        for (int f = 0; f < dU.numFabs(); ++f) {
+            viscousFlux(Sborder.const_array(f), metrics_[lev].const_array(f),
+                        dU.validBox(f), dU.array(f), dxi, cfg_.gas, cfg_.variant,
+                        cfg_.sgs);
+        }
+    }
+}
+
+void CroccoAmr::rk3Advance() {
+    // Algorithm 2: three Williamson stages, each sweeping all levels with
+    // the same global dt (no subcycling).
+    for (int stage = 0; stage < Rk3::nStages; ++stage) {
+        for (int lev = 0; lev <= finestLevel(); ++lev) {
+            MultiFab Sborder(boxArray(lev), dmap(lev), NCONS, NGHOST, comm());
+            fillPatch(lev, Sborder); // includes BC_Fill
+            MultiFab dU(boxArray(lev), dmap(lev), NCONS, 0, comm());
+            dU.setVal(0.0);
+            computeRhs(lev, Sborder, dU);
+            {
+                perf::TinyProfiler::Scope scope(prof_, "Update");
+                // G <- A*G + dt*RHS;  U <- U + B*G.
+                G_[lev].mult(Rk3::A[static_cast<std::size_t>(stage)], 0, NCONS);
+                MultiFab::saxpy(G_[lev], dt_, dU, 0, 0, NCONS);
+                MultiFab::saxpy(U_[lev], Rk3::B[static_cast<std::size_t>(stage)],
+                                G_[lev], 0, 0, NCONS);
+            }
+            if (stage == Rk3::nStages - 1 && lev > 0) {
+                perf::TinyProfiler::Scope scope(prof_, "AverageDown");
+                amr::AverageDown(U_[lev], U_[lev - 1], refRatio(), 0, 0, NCONS);
+            }
+        }
+    }
+}
+
+void CroccoAmr::step() {
+    const int freq = cfg_.regridFreq > 0 ? cfg_.regridFreq : estimateRegridFreq();
+    if (maxLevel() > 0 && step_ % freq == 0) {
+        perf::TinyProfiler::Scope scope(prof_, "Regrid");
+        regrid(0, time_);
+    }
+    dt_ = computeDtAllLevels();
+    rk3Advance();
+    time_ += dt_;
+    ++step_;
+}
+
+void CroccoAmr::evolve(int nsteps) {
+    for (int n = 0; n < nsteps; ++n) step();
+}
+
+std::array<Real, NCONS> CroccoAmr::conservedTotals() const {
+    std::array<Real, NCONS> total{};
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        const auto dxi = geom(lev).cellSizeArray();
+        const Real dV = dxi[0] * dxi[1] * dxi[2];
+        // Coarse cells covered by a finer level are counted there.
+        std::vector<Box> fineCover;
+        if (lev < finestLevel()) {
+            for (const Box& b : boxArray(lev + 1).boxes())
+                fineCover.push_back(b.coarsen(refRatio()));
+        }
+        for (int f = 0; f < U_[lev].numFabs(); ++f) {
+            auto u = U_[lev].const_array(f);
+            auto m = metrics_[lev].const_array(f);
+            for (const Box& piece : amr::boxDiff(U_[lev].validBox(f), fineCover)) {
+                amr::forEachCell(piece, [&](int i, int j, int k) {
+                    const Real w = mesh::jacobian(m, i, j, k) * dV;
+                    for (int n = 0; n < NCONS; ++n)
+                        total[static_cast<std::size_t>(n)] += w * u(i, j, k, n);
+                });
+            }
+        }
+    }
+    return total;
+}
+
+void CroccoAmr::writeCheckpoint(const std::string& dir) const {
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+    std::ofstream hdr(dir + "/header.txt");
+    hdr.precision(17); // bit-exact double round-trip
+    hdr << "crocco-checkpoint 1\n";
+    hdr << time_ << ' ' << step_ << ' ' << finestLevel() << '\n';
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        const auto& ba = boxArray(lev);
+        hdr << ba.size() << '\n';
+        for (int i = 0; i < ba.size(); ++i) {
+            const Box& b = ba[i];
+            hdr << b.smallEnd(0) << ' ' << b.smallEnd(1) << ' ' << b.smallEnd(2)
+                << ' ' << b.bigEnd(0) << ' ' << b.bigEnd(1) << ' ' << b.bigEnd(2)
+                << ' ' << dmap(lev)[i] << '\n';
+        }
+        std::ofstream bin(dir + "/level" + std::to_string(lev) + ".bin",
+                          std::ios::binary);
+        for (int f = 0; f < U_[lev].numFabs(); ++f) {
+            auto a = U_[lev].const_array(f);
+            amr::forEachCell(U_[lev].validBox(f), [&](int i, int j, int k) {
+                for (int n = 0; n < NCONS; ++n) {
+                    const Real v = a(i, j, k, n);
+                    bin.write(reinterpret_cast<const char*>(&v), sizeof(Real));
+                }
+            });
+        }
+    }
+}
+
+void CroccoAmr::readCheckpoint(const std::string& dir, InitFunct ic,
+                               amr::PhysBCFunct bc) {
+    init_ = std::move(ic);
+    physBC_ = std::move(bc);
+    std::ifstream hdr(dir + "/header.txt");
+    if (!hdr) throw std::runtime_error("cannot open checkpoint " + dir);
+    std::string magic;
+    int version = 0;
+    hdr >> magic >> version;
+    if (magic != "crocco-checkpoint" || version != 1)
+        throw std::runtime_error("bad checkpoint header in " + dir);
+    int finest = 0;
+    hdr >> time_ >> step_ >> finest;
+    if (finest > maxLevel())
+        throw std::runtime_error("checkpoint has more levels than maxLevel");
+
+    for (int lev = 0; lev <= finest; ++lev) {
+        int nboxes = 0;
+        hdr >> nboxes;
+        std::vector<Box> boxes;
+        std::vector<int> owners;
+        boxes.reserve(static_cast<std::size_t>(nboxes));
+        for (int i = 0; i < nboxes; ++i) {
+            amr::IntVect lo, hi;
+            int owner = 0;
+            hdr >> lo[0] >> lo[1] >> lo[2] >> hi[0] >> hi[1] >> hi[2] >> owner;
+            boxes.emplace_back(lo, hi);
+            owners.push_back(owner);
+        }
+        const BoxArray ba(std::move(boxes));
+        const DistributionMapping dm(std::move(owners), numRanks());
+        setLevel(lev, ba, dm);
+        setFinestLevel(lev);
+        defineLevelData(lev, ba, dm);
+        std::ifstream bin(dir + "/level" + std::to_string(lev) + ".bin",
+                          std::ios::binary);
+        if (!bin) throw std::runtime_error("missing checkpoint level data");
+        for (int f = 0; f < U_[lev].numFabs(); ++f) {
+            auto a = U_[lev].array(f);
+            amr::forEachCell(U_[lev].validBox(f), [&](int i, int j, int k) {
+                for (int n = 0; n < NCONS; ++n) {
+                    Real v;
+                    bin.read(reinterpret_cast<char*>(&v), sizeof(Real));
+                    a(i, j, k, n) = v;
+                }
+            });
+        }
+    }
+}
+
+int CroccoAmr::estimateRegridFreq() const {
+    // Information convects one cell per step at CFL 1; regrid before a
+    // feature can cross from a patch center to its fine/coarse interface.
+    int minHalfWidth = std::numeric_limits<int>::max();
+    for (int lev = 1; lev <= finestLevel(); ++lev) {
+        for (const Box& b : boxArray(lev).boxes())
+            minHalfWidth = std::min(minHalfWidth, b.size().min() / 2);
+    }
+    if (minHalfWidth == std::numeric_limits<int>::max()) return 1;
+    return std::max(1, static_cast<int>(minHalfWidth / std::max(cfg_.cfl, 0.01)));
+}
+
+} // namespace crocco::core

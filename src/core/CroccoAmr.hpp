@@ -1,0 +1,145 @@
+#pragma once
+
+#include "amr/AmrCore.hpp"
+#include "amr/FillPatch.hpp"
+#include "amr/MultiFab.hpp"
+#include "core/BCFill.hpp"
+#include "core/ComputeDt.hpp"
+#include "core/State.hpp"
+#include "core/Tagging.hpp"
+#include "core/Viscous.hpp"
+#include "core/Weno.hpp"
+#include "mesh/CoordStore.hpp"
+#include "perf/TinyProfiler.hpp"
+
+#include <functional>
+#include <memory>
+
+namespace crocco::core {
+
+/// The paper's code-version ladder (§V-C). Numerics are identical across
+/// versions; they differ in kernel structure, AMR on/off, and (for the
+/// benchmarks) which execution-time model applies.
+enum class CodeVersion {
+    V10, ///< AMReX framework + Fortran kernels, no AMR, CPU
+    V11, ///< C++ kernels, no AMR, CPU
+    V12, ///< C++ kernels + AMR, CPU
+    V20, ///< C++ kernels + AMR + GPU, custom curvilinear interpolator
+    V21, ///< V20 with AMReX's built-in trilinear interpolator (no global
+         ///< ParallelCopy in the interpolation path)
+};
+
+/// Which fine/coarse interpolator FillPatch uses.
+enum class InterpChoice { Curvilinear, Trilinear, Weno, ConservativeLinear };
+
+/// Initial condition: conserved state as a function of physical position.
+using InitFunct = std::function<std::array<Real, NCONS>(Real x, Real y, Real z)>;
+
+/// CRoCCo v2.0: the curvilinear compressible solver on the block-structured
+/// AMR hierarchy — Algorithm 1 (main loop) and Algorithm 2 (RK3 advance).
+class CroccoAmr : public amr::AmrCore {
+public:
+    struct Config {
+        amr::AmrInfo amrInfo;
+        GasModel gas;
+        Real cfl = 0.5;
+        /// Steps between Regrid() calls; 0 derives the paper's estimate
+        /// (timesteps for information to cross half the smallest patch).
+        int regridFreq = 10;
+        WenoScheme scheme = WenoScheme::Symbo;
+        Reconstruction recon = Reconstruction::ComponentWise;
+        KernelVariant variant = KernelVariant::Portable;
+        SgsModel sgs; ///< Smagorinsky LES closure; cs = 0 means DNS mode
+        InterpChoice interp = InterpChoice::Curvilinear;
+        TaggingSpec tagging;
+        mesh::CoordStore::Mode coordMode = mesh::CoordStore::Mode::Memory;
+        std::string coordFileDir = ".";
+        int nranks = 1;
+
+        static Config forVersion(CodeVersion v);
+    };
+
+    CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
+              std::shared_ptr<const mesh::Mapping> mapping,
+              parallel::SimComm* comm = nullptr);
+
+    /// InitGrid + InitGridMetrics + InitFlow of Algorithm 1.
+    void init(InitFunct initialCondition, amr::PhysBCFunct physBC);
+
+    /// One pass of Algorithm 1's loop body: (maybe) Regrid, ComputeDt, RK3.
+    void step();
+    void evolve(int nsteps);
+
+    Real time() const { return time_; }
+    int stepCount() const { return step_; }
+    Real lastDt() const { return dt_; }
+
+    amr::MultiFab& state(int lev) { return U_[lev]; }
+    const amr::MultiFab& state(int lev) const { return U_[lev]; }
+    const amr::MultiFab& coords(int lev) const { return coords_[lev]; }
+    const amr::MultiFab& metrics(int lev) const { return metrics_[lev]; }
+    const mesh::CoordStore& coordStore() const { return *coordStore_; }
+
+    perf::TinyProfiler& profiler() { return prof_; }
+
+    /// Global conserved totals (density-weighted cell "volumes" J dxi^3),
+    /// counting covered coarse cells once via the finest data.
+    std::array<Real, NCONS> conservedTotals() const;
+
+    /// The paper's regrid-frequency estimate: steps for a feature moving at
+    /// one CFL per step to cross half the smallest patch width.
+    int estimateRegridFreq() const;
+
+    /// Fill a ghosted scratch copy of level `lev`'s state (FillPatch +
+    /// BC_Fill of Algorithm 2). Exposed for tagging, tests and benchmarks.
+    void fillPatch(int lev, amr::MultiFab& dst);
+
+    /// Write the complete solver state — time, step, grid hierarchy and
+    /// conserved fields — into `dir` (header + one binary file per level).
+    /// Coordinates and metrics are *not* stored: they are regenerated from
+    /// the CoordStore on restart, exactly as Regrid would (§III-C).
+    void writeCheckpoint(const std::string& dir) const;
+
+    /// Restore a checkpoint into a freshly constructed solver (same Config,
+    /// geometry and mapping; do not call init() first). `ic`/`bc` supply the
+    /// initial-condition and boundary functors the continued run needs.
+    void readCheckpoint(const std::string& dir, InitFunct ic,
+                        amr::PhysBCFunct bc);
+
+protected:
+    void errorEst(int lev, std::vector<amr::IntVect>& tags, Real time) override;
+    void makeNewLevelFromScratch(int lev, Real time, const amr::BoxArray& ba,
+                                 const amr::DistributionMapping& dm) override;
+    void makeNewLevelFromCoarse(int lev, Real time, const amr::BoxArray& ba,
+                                const amr::DistributionMapping& dm) override;
+    void remakeLevel(int lev, Real time, const amr::BoxArray& ba,
+                     const amr::DistributionMapping& dm) override;
+    void clearLevel(int lev) override;
+
+private:
+    void defineLevelData(int lev, const amr::BoxArray& ba,
+                         const amr::DistributionMapping& dm);
+    void rk3Advance();
+    void computeRhs(int lev, const amr::MultiFab& Sborder, amr::MultiFab& dU);
+    const amr::Interpolater& interpolater() const;
+    Real computeDtAllLevels();
+
+    Config cfg_;
+    std::shared_ptr<const mesh::Mapping> mapping_;
+    std::unique_ptr<mesh::CoordStore> coordStore_;
+    InitFunct init_;
+    amr::PhysBCFunct physBC_;
+    perf::TinyProfiler prof_;
+
+    std::vector<amr::MultiFab> U_;       // conserved state, NGHOST ghosts
+    std::vector<amr::MultiFab> G_;       // RK3 low-storage accumulator
+    std::vector<amr::MultiFab> coords_;  // 3-comp physical coordinates
+    std::vector<amr::MultiFab> metrics_; // 27-comp grid metrics
+
+    std::unique_ptr<amr::Interpolater> interp_;
+    Real time_ = 0.0;
+    Real dt_ = 0.0;
+    int step_ = 0;
+};
+
+} // namespace crocco::core

@@ -1,0 +1,97 @@
+#include "core/Eigen.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crocco::core {
+
+namespace {
+
+/// Robust orthonormal triad from an arbitrary nonzero vector: n-hat plus two
+/// tangents, branch chosen by the smallest component so no orientation is
+/// degenerate.
+void makeTriad(const Real kdir[3], Real n[3], Real t1[3], Real t2[3]) {
+    const Real mag =
+        std::sqrt(kdir[0] * kdir[0] + kdir[1] * kdir[1] + kdir[2] * kdir[2]);
+    assert(mag > 0.0);
+    for (int d = 0; d < 3; ++d) n[d] = kdir[d] / mag;
+    // Seed with the unit axis least aligned with n.
+    int least = 0;
+    for (int d = 1; d < 3; ++d)
+        if (std::abs(n[d]) < std::abs(n[least])) least = d;
+    Real seed[3] = {0, 0, 0};
+    seed[least] = 1.0;
+    // t1 = normalize(seed - (seed.n) n); t2 = n x t1.
+    const Real dot = seed[0] * n[0] + seed[1] * n[1] + seed[2] * n[2];
+    for (int d = 0; d < 3; ++d) t1[d] = seed[d] - dot * n[d];
+    const Real m1 = std::sqrt(t1[0] * t1[0] + t1[1] * t1[1] + t1[2] * t1[2]);
+    for (int d = 0; d < 3; ++d) t1[d] /= m1;
+    t2[0] = n[1] * t1[2] - n[2] * t1[1];
+    t2[1] = n[2] * t1[0] - n[0] * t1[2];
+    t2[2] = n[0] * t1[1] - n[1] * t1[0];
+}
+
+} // namespace
+
+EigenSystem eulerEigenvectors(const Prim& q, const Real kdir[3],
+                              const GasModel& gas) {
+    Real n[3], t1[3], t2[3];
+    makeTriad(kdir, n, t1, t2);
+
+    const Real u[3] = {q.u, q.v, q.w};
+    const Real a = q.a, rho = q.rho;
+    const Real gm1 = gas.gamma - 1.0;
+    const Real ke = 0.5 * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+    const Real H = a * a / gm1 + ke; // total enthalpy
+    const Real un = u[0] * n[0] + u[1] * n[1] + u[2] * n[2];
+    const Real ut1 = u[0] * t1[0] + u[1] * t1[1] + u[2] * t1[2];
+    const Real ut2 = u[0] * t2[0] + u[1] * t2[1] + u[2] * t2[2];
+
+    // Differentials of primitive combinations as rows over conserved
+    // increments d(rho, rho*u, rho*v, rho*w, E):
+    const Real rowDp[NCONS] = {gm1 * ke, -gm1 * u[0], -gm1 * u[1], -gm1 * u[2],
+                               gm1};
+    const Real rowDrho[NCONS] = {1, 0, 0, 0, 0};
+    Real rowDun[NCONS], rowDut1[NCONS], rowDut2[NCONS];
+    for (int c = 0; c < NCONS; ++c) {
+        const Real mom = (c >= 1 && c <= 3) ? 1.0 : 0.0;
+        rowDun[c] = ((c >= 1 && c <= 3 ? n[c - 1] * mom : 0.0) -
+                     un * rowDrho[c]) /
+                    rho;
+        rowDut1[c] = ((c >= 1 && c <= 3 ? t1[c - 1] * mom : 0.0) -
+                      ut1 * rowDrho[c]) /
+                     rho;
+        rowDut2[c] = ((c >= 1 && c <= 3 ? t2[c - 1] * mom : 0.0) -
+                      ut2 * rowDrho[c]) /
+                     rho;
+    }
+
+    EigenSystem es;
+    const Real inv2a2 = 1.0 / (2.0 * a * a);
+    for (int c = 0; c < NCONS; ++c) {
+        es.L[0][c] = (rowDp[c] - rho * a * rowDun[c]) * inv2a2; // u_n - a
+        es.L[1][c] = rowDrho[c] - rowDp[c] / (a * a);           // entropy
+        es.L[2][c] = rho * rowDut1[c];                          // shear 1
+        es.L[3][c] = rho * rowDut2[c];                          // shear 2
+        es.L[4][c] = (rowDp[c] + rho * a * rowDun[c]) * inv2a2; // u_n + a
+    }
+
+    // Right eigenvectors as columns.
+    const Real R0[NCONS] = {1, u[0] - a * n[0], u[1] - a * n[1],
+                            u[2] - a * n[2], H - a * un};
+    const Real R1[NCONS] = {1, u[0], u[1], u[2], ke};
+    const Real R2[NCONS] = {0, t1[0], t1[1], t1[2], ut1};
+    const Real R3[NCONS] = {0, t2[0], t2[1], t2[2], ut2};
+    const Real R4[NCONS] = {1, u[0] + a * n[0], u[1] + a * n[1],
+                            u[2] + a * n[2], H + a * un};
+    for (int r = 0; r < NCONS; ++r) {
+        es.R[r][0] = R0[r];
+        es.R[r][1] = R1[r];
+        es.R[r][2] = R2[r];
+        es.R[r][3] = R3[r];
+        es.R[r][4] = R4[r];
+    }
+    return es;
+}
+
+} // namespace crocco::core

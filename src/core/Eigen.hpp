@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/State.hpp"
+
+namespace crocco::core {
+
+/// Left/right eigenvector matrices of the Euler flux Jacobian in an
+/// arbitrary direction — the machinery for *characteristic-wise* WENO
+/// reconstruction. Projecting the stencil onto characteristic fields before
+/// reconstructing (and back after) removes the spurious oscillations
+/// component-wise reconstruction leaks through strong shocks; it is the
+/// standard practice for Mach-10-class problems like the DMR.
+///
+/// Row m of L projects a conserved-variable increment onto characteristic
+/// field m; column m of R maps it back: R * L = I.
+/// Field order: (u_n - a), entropy, shear_1, shear_2, (u_n + a).
+struct EigenSystem {
+    Real L[NCONS][NCONS];
+    Real R[NCONS][NCONS];
+};
+
+/// Build the eigensystem at state `q` for the (unnormalized) direction
+/// vector `kdir` (e.g. the contravariant metric row J * dxi_d/dx). The
+/// direction is normalized internally; a local orthonormal triad supplies
+/// the two shear fields robustly for any orientation.
+EigenSystem eulerEigenvectors(const Prim& q, const Real kdir[3],
+                              const GasModel& gas);
+
+} // namespace crocco::core

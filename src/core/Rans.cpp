@@ -1,0 +1,22 @@
+#include "core/Rans.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crocco::core {
+
+Real RansModel::eddyViscosity(const Real gradU[3][3], Real rho,
+                              Real wallDistance) const {
+    if (!active()) return 0.0;
+    Real s2 = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            const Real sij = 0.5 * (gradU[i][j] + gradU[j][i]);
+            s2 += 2.0 * sij * sij;
+        }
+    }
+    const Real l = std::min(kappa * std::max(wallDistance, 0.0), lMax);
+    return rho * l * l * std::sqrt(s2);
+}
+
+} // namespace crocco::core

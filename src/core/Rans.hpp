@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/State.hpp"
+
+namespace crocco::core {
+
+/// Algebraic RANS closure — CRoCCo's third operating mode (§I: "large eddy
+/// simulations (LES) or Reynolds-averaged Navier-Stokes (RANS)
+/// simulations"). A Prandtl mixing-length model:
+///
+///   mu_t = rho * l_mix^2 * |S|,   l_mix = min(kappa * d_wall, l_max)
+///
+/// with von Karman scaling near the wall and a capped outer length. Like
+/// the Smagorinsky SGS model it augments the molecular viscosity inside the
+/// viscous kernel; the two differ only in the length scale (grid-derived
+/// for LES, wall-distance-derived for RANS).
+struct RansModel {
+    Real kappa = 0.41;   ///< von Karman constant
+    Real lMax = 0.0;     ///< outer mixing-length cap; 0 disables the model
+    Real prandtlT = 0.9;
+
+    bool active() const { return lMax > 0.0; }
+
+    /// Eddy viscosity from the mean-velocity gradient, density, and wall
+    /// distance.
+    Real eddyViscosity(const Real gradU[3][3], Real rho, Real wallDistance) const;
+};
+
+} // namespace crocco::core

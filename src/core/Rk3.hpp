@@ -1,0 +1,24 @@
+#pragma once
+
+#include "amr/Array4.hpp"
+
+#include <array>
+
+namespace crocco::core {
+
+/// Williamson's 3rd-order low-storage (2N) Runge-Kutta scheme [Williamson
+/// 1980], the time integrator CRoCCo propagates convective and viscous
+/// fluxes with (§II-A). Per stage s:
+///
+///   G <- A[s] * G + dt * RHS(U)
+///   U <- U + B[s] * G
+///
+/// Only U and one accumulator G are stored — the "low-storage" property
+/// that matters on 16 GB GPUs.
+struct Rk3 {
+    static constexpr int nStages = 3;
+    static constexpr std::array<amr::Real, 3> A{0.0, -5.0 / 9.0, -153.0 / 128.0};
+    static constexpr std::array<amr::Real, 3> B{1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0};
+};
+
+} // namespace crocco::core

@@ -1,0 +1,22 @@
+#include "core/Sgs.hpp"
+
+#include <cmath>
+
+namespace crocco::core {
+
+Real SgsModel::eddyViscosity(const Real gradU[3][3], Real rho, Real delta) const {
+    if (!active()) return 0.0;
+    Real s2 = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            const Real sij = 0.5 * (gradU[i][j] + gradU[j][i]);
+            s2 += 2.0 * sij * sij;
+        }
+    }
+    const Real magS = std::sqrt(s2);
+    return rho * cs * cs * delta * delta * magS;
+}
+
+Real SgsModel::filterWidth(Real cellVolume) { return std::cbrt(cellVolume); }
+
+} // namespace crocco::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/State.hpp"
+
+namespace crocco::core {
+
+/// Subgrid-scale closure for CRoCCo's LES mode (§I, §II-A): the filtered
+/// equations add an eddy viscosity to the molecular one. The classic
+/// Smagorinsky model is implemented:
+///
+///   nu_t = (Cs * Delta)^2 * |S|,   |S| = sqrt(2 S_ij S_ij)
+///
+/// with Delta the local filter width (the cell size, anisotropy-averaged via
+/// the Jacobian). Turbulent heat flux uses a constant turbulent Prandtl
+/// number. Cs = 0 disables the model (DNS mode).
+struct SgsModel {
+    Real cs = 0.0;        ///< Smagorinsky constant (typical 0.1-0.2)
+    Real prandtlT = 0.9;  ///< turbulent Prandtl number
+
+    bool active() const { return cs > 0.0; }
+
+    /// Eddy viscosity mu_t from the resolved velocity-gradient tensor
+    /// gradU[i][j] = du_i/dx_j, density, and filter width delta.
+    Real eddyViscosity(const Real gradU[3][3], Real rho, Real delta) const;
+
+    /// Filter width from the cell's physical volume J * dxi*deta*dzeta.
+    static Real filterWidth(Real cellVolume);
+};
+
+} // namespace crocco::core

@@ -1,0 +1,154 @@
+#include "core/SpeciesTransport.hpp"
+
+#include "amr/FArrayBox.hpp"
+#include "gpu/Gpu.hpp"
+#include "mesh/GridMetrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crocco::core {
+
+using amr::FArrayBox;
+using amr::IntVect;
+using mesh::jacobian;
+using mesh::metric1;
+
+void speciesAdvectFlux(int dir, const Array4<const Real>& S,
+                       const Array4<const Real>& rhoY,
+                       const Array4<const Real>& metrics, const Box& validBox,
+                       const Array4<Real>& dRhoY, Real dxi, const GasModel& gas,
+                       WenoScheme scheme) {
+    assert(dir >= 0 && dir < 3);
+    const int ns = rhoY.ncomp;
+    const IntVect e = IntVect::basis(dir);
+
+    // Stage A: contravariant volume flux u_hat (per unit rho) and spectral
+    // radius at every stencil cell.
+    const Box cellBox = validBox.grow(dir, 3);
+    FArrayBox scratch(cellBox, 2);
+    auto sc = scratch.array();
+    gpu::ParallelFor(cellBox, [&](int i, int j, int k) {
+        const Prim q = toPrim(S, i, j, k, gas);
+        const Real J = jacobian(metrics, i, j, k);
+        const Real jm0 = J * metrics(i, j, k, metric1(dir, 0));
+        const Real jm1 = J * metrics(i, j, k, metric1(dir, 1));
+        const Real jm2 = J * metrics(i, j, k, metric1(dir, 2));
+        const Real uhat = jm0 * q.u + jm1 * q.v + jm2 * q.w;
+        sc(i, j, k, 0) = uhat;
+        sc(i, j, k, 1) =
+            std::abs(uhat) + q.a * std::sqrt(jm0 * jm0 + jm1 * jm1 + jm2 * jm2);
+    });
+
+    // Stage B: interface fluxes per species.
+    const Box faceBox(validBox.smallEnd() - e, validBox.bigEnd());
+    FArrayBox flux(faceBox, ns);
+    auto fx = flux.array();
+    auto scc = scratch.const_array();
+    gpu::ParallelFor(faceBox, [&](int i, int j, int k) {
+        Real uhat[6], alpha = 0.0;
+        for (int l = 0; l < 6; ++l) {
+            const int ci = i + (l - 2) * e[0];
+            const int cj = j + (l - 2) * e[1];
+            const int ck = k + (l - 2) * e[2];
+            uhat[l] = scc(ci, cj, ck, 0);
+            alpha = std::max(alpha, scc(ci, cj, ck, 1));
+        }
+        for (int s = 0; s < ns; ++s) {
+            Real fp[6], fm[6];
+            for (int l = 0; l < 6; ++l) {
+                const int ci = i + (l - 2) * e[0];
+                const int cj = j + (l - 2) * e[1];
+                const int ck = k + (l - 2) * e[2];
+                const Real r = rhoY(ci, cj, ck, s);
+                fp[l] = 0.5 * (r * uhat[l] + alpha * r);
+                fm[5 - l] = 0.5 * (r * uhat[l] - alpha * r);
+            }
+            fx(i, j, k, s) = wenoReconstruct(fp, scheme) +
+                             wenoReconstruct(fm, scheme);
+        }
+    });
+
+    // Stage C: flux difference.
+    auto fxc = flux.const_array();
+    gpu::ParallelFor(validBox, [&](int i, int j, int k) {
+        const Real scale = 1.0 / (dxi * jacobian(metrics, i, j, k));
+        for (int s = 0; s < ns; ++s) {
+            dRhoY(i, j, k, s) -=
+                scale * (fxc(i, j, k, s) - fxc(i - e[0], j - e[1], k - e[2], s));
+        }
+    });
+}
+
+void speciesDiffuseFlux(const Array4<const Real>& S,
+                        const Array4<const Real>& rhoY,
+                        const Array4<const Real>& metrics, const Box& validBox,
+                        const Array4<Real>& dRhoY,
+                        const std::array<Real, 3>& dxi, const GasModel& gas,
+                        Real schmidt) {
+    assert(gas.viscous() && schmidt > 0.0);
+    const int ns = rhoY.ncomp;
+
+    auto d1 = [](const Array4<const Real>& f, int i, int j, int k, int m, int d,
+                 Real invdx) {
+        const IntVect e = IntVect::basis(d);
+        return (-f(i + 2 * e[0], j + 2 * e[1], k + 2 * e[2], m) +
+                8.0 * f(i + e[0], j + e[1], k + e[2], m) -
+                8.0 * f(i - e[0], j - e[1], k - e[2], m) +
+                f(i - 2 * e[0], j - 2 * e[1], k - 2 * e[2], m)) *
+               (invdx / 12.0);
+    };
+
+    // Pass 0: mass fractions Y_s on the widest region.
+    const Box yBox = validBox.grow(4);
+    FArrayBox yFab(yBox, ns);
+    auto y = yFab.array();
+    gpu::ParallelFor(yBox, [&](int i, int j, int k) {
+        const Real rinv = 1.0 / S(i, j, k, URHO);
+        for (int s = 0; s < ns; ++s) y(i, j, k, s) = rhoY(i, j, k, s) * rinv;
+    });
+
+    // Pass 1: contravariant diffusive fluxes J * M^T (mu/Sc) grad Y.
+    const Box fluxBox = validBox.grow(2);
+    FArrayBox theta(fluxBox, 3 * ns);
+    auto th = theta.array();
+    auto yc = yFab.const_array();
+    gpu::ParallelFor(fluxBox, [&](int i, int j, int k) {
+        const Prim q = toPrim(S, i, j, k, gas);
+        const Real diffusivity =
+            gas.viscosity(gas.temperature(q.rho, q.p)) / schmidt;
+        const Real J = jacobian(metrics, i, j, k);
+        for (int s = 0; s < ns; ++s) {
+            Real gY[3]; // physical gradient of Y_s
+            for (int m = 0; m < 3; ++m) {
+                gY[m] = 0.0;
+                for (int d = 0; d < 3; ++d) {
+                    gY[m] += metrics(i, j, k, metric1(d, m)) *
+                             d1(yc, i, j, k, s, d,
+                                1.0 / dxi[static_cast<std::size_t>(d)]);
+                }
+            }
+            for (int d = 0; d < 3; ++d) {
+                Real t = 0.0;
+                for (int m = 0; m < 3; ++m)
+                    t += metrics(i, j, k, metric1(d, m)) * gY[m];
+                th(i, j, k, 3 * s + d) = J * diffusivity * q.rho * t;
+            }
+        }
+    });
+
+    // Pass 2: divergence.
+    auto thc = theta.const_array();
+    gpu::ParallelFor(validBox, [&](int i, int j, int k) {
+        const Real Jinv = 1.0 / jacobian(metrics, i, j, k);
+        for (int s = 0; s < ns; ++s) {
+            for (int d = 0; d < 3; ++d) {
+                dRhoY(i, j, k, s) +=
+                    Jinv * d1(thc, i, j, k, 3 * s + d, d,
+                              1.0 / dxi[static_cast<std::size_t>(d)]);
+            }
+        }
+    });
+}
+
+} // namespace crocco::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "amr/Array4.hpp"
+
+#include <cmath>
+
+namespace crocco::core {
+
+using amr::Array4;
+using amr::Real;
+
+/// Conserved-variable component indices of the 5-component state MultiFab
+/// (§III-C "Data management"): density, momentum, total energy per volume.
+inline constexpr int URHO = 0;
+inline constexpr int UMX = 1;
+inline constexpr int UMY = 2;
+inline constexpr int UMZ = 3;
+inline constexpr int UEDEN = 4;
+inline constexpr int NCONS = 5;
+
+/// Ghost cells required by the numerics in each direction: the WENO-SYMBO
+/// 7-point stencil and the two-pass 4th-order viscous operator both need 4
+/// (§III-B sets the blocking factor to at least this).
+inline constexpr int NGHOST = 4;
+
+/// Calorically perfect gas model with Sutherland viscosity. The DMR problem
+/// runs inviscid air (gamma = 1.4); the viscous parameters feed the Viscous
+/// kernel for the Navier-Stokes test problems.
+struct GasModel {
+    Real gamma = 1.4;
+    Real Rgas = 1.0;       ///< specific gas constant (nondimensional)
+    Real prandtl = 0.72;
+    Real muRef = 0.0;      ///< Sutherland reference viscosity; 0 => inviscid
+    Real Tref = 1.0;       ///< Sutherland reference temperature
+    Real Tsuth = 0.4;      ///< Sutherland constant (in units of Tref)
+
+    Real cv() const { return Rgas / (gamma - 1.0); }
+    Real cp() const { return gamma * Rgas / (gamma - 1.0); }
+    bool viscous() const { return muRef > 0.0; }
+
+    Real pressure(Real rho, Real u, Real v, Real w, Real E) const {
+        return (gamma - 1.0) * (E - 0.5 * rho * (u * u + v * v + w * w));
+    }
+    Real temperature(Real rho, Real p) const { return p / (rho * Rgas); }
+    Real soundSpeed(Real rho, Real p) const { return std::sqrt(gamma * p / rho); }
+    Real totalEnergy(Real rho, Real u, Real v, Real w, Real p) const {
+        return p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w);
+    }
+    Real viscosity(Real T) const {
+        // Sutherland's law, nondimensionalized by muRef at Tref.
+        const Real t = T / Tref;
+        return muRef * t * std::sqrt(t) * (1.0 + Tsuth) / (t + Tsuth);
+    }
+    Real conductivity(Real T) const { return viscosity(T) * cp() / prandtl; }
+};
+
+/// Primitive state at one cell, decoded from a conserved-variable view.
+struct Prim {
+    Real rho, u, v, w, p, a;
+};
+
+inline Prim toPrim(const Array4<const Real>& U, int i, int j, int k,
+                   const GasModel& gas) {
+    const Real rho = U(i, j, k, URHO);
+    const Real rinv = 1.0 / rho;
+    const Real u = U(i, j, k, UMX) * rinv;
+    const Real v = U(i, j, k, UMY) * rinv;
+    const Real w = U(i, j, k, UMZ) * rinv;
+    const Real p = gas.pressure(rho, u, v, w, U(i, j, k, UEDEN));
+    return {rho, u, v, w, p, gas.soundSpeed(rho, p)};
+}
+
+} // namespace crocco::core

@@ -1,0 +1,60 @@
+#include "core/Tagging.hpp"
+
+#include <cmath>
+
+namespace crocco::core {
+
+using amr::IntVect;
+
+namespace {
+
+/// Max undivided central difference of component n over the three dims.
+Real undividedGrad(const Array4<const Real>& a, int i, int j, int k, int n) {
+    Real g = 0.0;
+    for (int d = 0; d < 3; ++d) {
+        const IntVect e = IntVect::basis(d);
+        g = std::max(g, std::abs(a(i + e[0], j + e[1], k + e[2], n) -
+                                 a(i - e[0], j - e[1], k - e[2], n)) * 0.5);
+    }
+    return g;
+}
+
+} // namespace
+
+void tagCells(const amr::MultiFab& U, const TaggingSpec& spec,
+              std::vector<amr::IntVect>& tags) {
+    for (int f = 0; f < U.numFabs(); ++f) {
+        auto a = U.const_array(f);
+        amr::forEachCell(U.validBox(f), [&](int i, int j, int k) {
+            Real v = 0.0;
+            switch (spec.criterion) {
+                case TagCriterion::DensityGradient:
+                    v = undividedGrad(a, i, j, k, URHO);
+                    break;
+                case TagCriterion::MomentumGradient:
+                    for (int n = UMX; n <= UMZ; ++n)
+                        v = std::max(v, undividedGrad(a, i, j, k, n));
+                    break;
+                case TagCriterion::Vorticity: {
+                    // Undivided curl magnitude of velocity.
+                    auto vel = [&](int ii, int jj, int kk, int n) {
+                        return a(ii, jj, kk, UMX + n) / a(ii, jj, kk, URHO);
+                    };
+                    auto dd = [&](int n, int d) {
+                        const IntVect e = IntVect::basis(d);
+                        return 0.5 * (vel(i + e[0], j + e[1], k + e[2], n) -
+                                      vel(i - e[0], j - e[1], k - e[2], n));
+                    };
+                    const Real wx = dd(2, 1) - dd(1, 2);
+                    const Real wy = dd(0, 2) - dd(2, 0);
+                    const Real wz = dd(1, 0) - dd(0, 1);
+                    v = std::sqrt(wx * wx + wy * wy + wz * wz);
+                    break;
+                }
+            }
+            if (v > spec.threshold) tags.push_back(IntVect{i, j, k});
+        });
+    }
+}
+
+} // namespace crocco::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "amr/MultiFab.hpp"
+#include "core/State.hpp"
+
+#include <vector>
+
+namespace crocco::core {
+
+/// AMR refinement criteria (§II-B): gradients of density or momentum flag
+/// shocks; the vorticity criterion is the paper's "AMR exclusively as a
+/// turbulence resolving tool" option for WENO-SYMBO runs (§III-C).
+enum class TagCriterion {
+    DensityGradient,
+    MomentumGradient,
+    Vorticity,
+};
+
+struct TaggingSpec {
+    TagCriterion criterion = TagCriterion::DensityGradient;
+    /// Undivided-difference threshold above which a cell is tagged.
+    Real threshold = 0.1;
+};
+
+/// Collect the cells of `U` (valid regions, level index space) whose
+/// criterion exceeds the threshold. Ghost cells of `U` must be filled.
+void tagCells(const amr::MultiFab& U, const TaggingSpec& spec,
+              std::vector<amr::IntVect>& tags);
+
+} // namespace crocco::core

@@ -1,0 +1,297 @@
+#include "core/Weno.hpp"
+
+#include "core/Eigen.hpp"
+
+#include "amr/FArrayBox.hpp"
+#include "gpu/Gpu.hpp"
+#include "mesh/GridMetrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crocco::core {
+
+using amr::FArrayBox;
+using amr::IntVect;
+using mesh::jacobian;
+using mesh::metric1;
+
+namespace {
+
+/// Linear weights of the symmetric 4-stencil WENO-SYMBO scheme; the 4th is
+/// the downwind stencil. Following Martín, Taylor, Wu & Weirs (2006), the
+/// weights trade formal order for spectral resolution: they satisfy the
+/// 4th-order moment condition 3(d3 - d0) + (d1 - d2) = 0 (the scheme is
+/// exactly 4th-order accurate, as the paper's numerics are) with a mild
+/// upwind bias and a ~7.7% downwind share. (The unique 6th-order choice
+/// would be {.05, .45, .45, .05}; these sit in the 4th-order family.)
+constexpr Real kSymboD[4] = {0.0833333, 0.4300000, 0.4100000, 0.0766667};
+/// Classic Jiang-Shu optimal weights (3 upwind stencils).
+constexpr Real kJsD[3] = {0.1, 0.6, 0.3};
+constexpr Real kWenoEps = 1e-6;
+/// Relative-smoothness limiter: the downwind stencil participates only when
+/// all four stencils are comparably smooth (ratio below this), restoring
+/// strict upwinding near discontinuities (§II-A's "weighs candidate
+/// stencils via local relative smoothness").
+constexpr Real kSymboRelLimit = 5.0;
+
+} // namespace
+
+Real wenoReconstruct(const Real f[6], WenoScheme scheme) {
+    // Candidate 3-point reconstructions of the value at i+1/2; f[2] is cell i.
+    const Real q0 = (2.0 * f[0] - 7.0 * f[1] + 11.0 * f[2]) / 6.0;
+    const Real q1 = (-f[1] + 5.0 * f[2] + 2.0 * f[3]) / 6.0;
+    const Real q2 = (2.0 * f[2] + 5.0 * f[3] - f[4]) / 6.0;
+    // Jiang-Shu smoothness indicators.
+    const Real b0 = (13.0 / 12.0) * (f[0] - 2 * f[1] + f[2]) * (f[0] - 2 * f[1] + f[2]) +
+                    0.25 * (f[0] - 4 * f[1] + 3 * f[2]) * (f[0] - 4 * f[1] + 3 * f[2]);
+    const Real b1 = (13.0 / 12.0) * (f[1] - 2 * f[2] + f[3]) * (f[1] - 2 * f[2] + f[3]) +
+                    0.25 * (f[1] - f[3]) * (f[1] - f[3]);
+    const Real b2 = (13.0 / 12.0) * (f[2] - 2 * f[3] + f[4]) * (f[2] - 2 * f[3] + f[4]) +
+                    0.25 * (3 * f[2] - 4 * f[3] + f[4]) * (3 * f[2] - 4 * f[3] + f[4]);
+
+    if (scheme == WenoScheme::JS5) {
+        const Real a0 = kJsD[0] / ((kWenoEps + b0) * (kWenoEps + b0));
+        const Real a1 = kJsD[1] / ((kWenoEps + b1) * (kWenoEps + b1));
+        const Real a2 = kJsD[2] / ((kWenoEps + b2) * (kWenoEps + b2));
+        return (a0 * q0 + a1 * q1 + a2 * q2) / (a0 + a1 + a2);
+    }
+
+    // WENO-SYMBO: add the downwind candidate (mirror image of stencil 0
+    // about the interface).
+    const Real q3 = (11.0 * f[3] - 7.0 * f[4] + 2.0 * f[5]) / 6.0;
+    const Real b3 = (13.0 / 12.0) * (f[3] - 2 * f[4] + f[5]) * (f[3] - 2 * f[4] + f[5]) +
+                    0.25 * (3 * f[3] - 4 * f[4] + f[5]) * (3 * f[3] - 4 * f[4] + f[5]);
+    const Real a0 = kSymboD[0] / ((kWenoEps + b0) * (kWenoEps + b0));
+    const Real a1 = kSymboD[1] / ((kWenoEps + b1) * (kWenoEps + b1));
+    const Real a2 = kSymboD[2] / ((kWenoEps + b2) * (kWenoEps + b2));
+    Real a3 = kSymboD[3] / ((kWenoEps + b3) * (kWenoEps + b3));
+    const Real bmax = std::max({b0, b1, b2, b3});
+    const Real bmin = std::min({b0, b1, b2, b3});
+    if (bmax > kSymboRelLimit * bmin + kWenoEps) a3 = 0.0;
+    return (a0 * q0 + a1 * q1 + a2 * q2 + a3 * q3) / (a0 + a1 + a2 + a3);
+}
+
+namespace {
+
+/// Stage A payload at one cell: contravariant flux, conserved state copy,
+/// and the local spectral radius for Lax-Friedrichs splitting.
+struct CellFlux {
+    Real fhat[NCONS];
+    Real s;
+    Real jm[3]; ///< contravariant metric row J * dxi_dir/dx (for the
+                ///< characteristic projection direction)
+};
+constexpr int kCellFluxComps = NCONS + 4;
+
+inline CellFlux cellFlux(const Array4<const Real>& S,
+                         const Array4<const Real>& metrics, int i, int j, int k,
+                         int dir, const GasModel& gas) {
+    const Prim q = toPrim(S, i, j, k, gas);
+    const Real J = jacobian(metrics, i, j, k);
+    const Real jm0 = J * metrics(i, j, k, metric1(dir, 0));
+    const Real jm1 = J * metrics(i, j, k, metric1(dir, 1));
+    const Real jm2 = J * metrics(i, j, k, metric1(dir, 2));
+    const Real uhat = jm0 * q.u + jm1 * q.v + jm2 * q.w;
+    CellFlux c;
+    c.fhat[URHO] = q.rho * uhat;
+    c.fhat[UMX] = q.rho * q.u * uhat + jm0 * q.p;
+    c.fhat[UMY] = q.rho * q.v * uhat + jm1 * q.p;
+    c.fhat[UMZ] = q.rho * q.w * uhat + jm2 * q.p;
+    c.fhat[UEDEN] = (S(i, j, k, UEDEN) + q.p) * uhat;
+    c.s = std::abs(uhat) + q.a * std::sqrt(jm0 * jm0 + jm1 * jm1 + jm2 * jm2);
+    c.jm[0] = jm0;
+    c.jm[1] = jm1;
+    c.jm[2] = jm2;
+    return c;
+}
+
+/// Primitive state decoded from a conserved 5-vector.
+inline Prim consToPrim(const Real U[NCONS], const GasModel& gas) {
+    const Real rho = U[URHO], rinv = 1.0 / rho;
+    const Real u = U[UMX] * rinv, v = U[UMY] * rinv, w = U[UMZ] * rinv;
+    const Real p = gas.pressure(rho, u, v, w, U[UEDEN]);
+    return {rho, u, v, w, p, gas.soundSpeed(rho, p)};
+}
+
+/// Interface flux at i+1/2 from the six surrounding cells' stage-A payloads
+/// and conserved states (identical arithmetic in both kernel variants).
+inline void interfaceFlux(const CellFlux cells[6], const Real cons[6][NCONS],
+                          WenoScheme scheme, Reconstruction recon,
+                          const GasModel& gas, Real out[NCONS]) {
+    Real alpha = cells[0].s;
+    for (int l = 1; l < 6; ++l) alpha = std::max(alpha, cells[l].s);
+
+    if (recon == Reconstruction::ComponentWise) {
+        for (int m = 0; m < NCONS; ++m) {
+            Real fp[6], fm[6];
+            for (int l = 0; l < 6; ++l) {
+                fp[l] = 0.5 * (cells[l].fhat[m] + alpha * cons[l][m]);
+                // Right-biased window mirrors about the interface.
+                fm[5 - l] = 0.5 * (cells[l].fhat[m] - alpha * cons[l][m]);
+            }
+            out[m] = wenoReconstruct(fp, scheme) + wenoReconstruct(fm, scheme);
+        }
+        return;
+    }
+
+    // Characteristic-wise: eigensystem at the interface-averaged state and
+    // metric direction (cells 2 and 3 straddle the interface).
+    Real avgCons[NCONS], kdir[3];
+    for (int m = 0; m < NCONS; ++m)
+        avgCons[m] = 0.5 * (cons[2][m] + cons[3][m]);
+    for (int d = 0; d < 3; ++d)
+        kdir[d] = 0.5 * (cells[2].jm[d] + cells[3].jm[d]);
+    const EigenSystem es = eulerEigenvectors(consToPrim(avgCons, gas), kdir, gas);
+
+    Real outChar[NCONS];
+    for (int m = 0; m < NCONS; ++m) {
+        Real fp[6], fm[6];
+        for (int l = 0; l < 6; ++l) {
+            Real cf = 0.0, cu = 0.0;
+            for (int c = 0; c < NCONS; ++c) {
+                cf += es.L[m][c] * cells[l].fhat[c];
+                cu += es.L[m][c] * cons[l][c];
+            }
+            fp[l] = 0.5 * (cf + alpha * cu);
+            fm[5 - l] = 0.5 * (cf - alpha * cu);
+        }
+        outChar[m] = wenoReconstruct(fp, scheme) + wenoReconstruct(fm, scheme);
+    }
+    for (int c = 0; c < NCONS; ++c) {
+        out[c] = 0.0;
+        for (int m = 0; m < NCONS; ++m) out[c] += es.R[c][m] * outChar[m];
+    }
+}
+
+void wenoFluxPortable(int dir, const Array4<const Real>& S,
+                      const Array4<const Real>& metrics, const Box& validBox,
+                      const Array4<Real>& dU, Real dxi, const GasModel& gas,
+                      WenoScheme scheme, Reconstruction recon) {
+    const IntVect e = IntVect::basis(dir);
+
+    // Scratch lives in (device) global memory, allocated from the host
+    // before launch — the paper's fix for both in-kernel allocation and the
+    // data races of shared line scratch (§IV-B).
+    const Box cellBox = validBox.grow(dir, 3);
+    FArrayBox scratch(cellBox, kCellFluxComps);
+    auto sc = scratch.array();
+
+    // Kernel 1: per-cell contravariant flux + spectral radius + metric row.
+    gpu::ParallelFor(cellBox, [&](int i, int j, int k) {
+        const CellFlux c = cellFlux(S, metrics, i, j, k, dir, gas);
+        for (int m = 0; m < NCONS; ++m) sc(i, j, k, m) = c.fhat[m];
+        sc(i, j, k, NCONS) = c.s;
+        for (int d = 0; d < 3; ++d) sc(i, j, k, NCONS + 1 + d) = c.jm[d];
+    });
+
+    // Kernel 2: one thread per interface; interface i+1/2 is stored at cell
+    // index i, for i in [lo-1, hi].
+    const Box faceBox(validBox.smallEnd() - e, validBox.bigEnd());
+    FArrayBox flux(faceBox, NCONS);
+    auto fx = flux.array();
+    auto scc = scratch.const_array();
+    gpu::ParallelFor(faceBox, [&](int i, int j, int k) {
+        CellFlux cells[6];
+        Real cons[6][NCONS];
+        for (int l = 0; l < 6; ++l) {
+            const int ci = i + (l - 2) * e[0];
+            const int cj = j + (l - 2) * e[1];
+            const int ck = k + (l - 2) * e[2];
+            for (int m = 0; m < NCONS; ++m) {
+                cells[l].fhat[m] = scc(ci, cj, ck, m);
+                cons[l][m] = S(ci, cj, ck, m);
+            }
+            cells[l].s = scc(ci, cj, ck, NCONS);
+            for (int d = 0; d < 3; ++d)
+                cells[l].jm[d] = scc(ci, cj, ck, NCONS + 1 + d);
+        }
+        Real out[NCONS];
+        interfaceFlux(cells, cons, scheme, recon, gas, out);
+        for (int m = 0; m < NCONS; ++m) fx(i, j, k, m) = out[m];
+    });
+
+    // Kernel 3: flux difference into dU.
+    auto fxc = flux.const_array();
+    gpu::ParallelFor(validBox, [&](int i, int j, int k) {
+        const Real scale = 1.0 / (dxi * jacobian(metrics, i, j, k));
+        for (int m = 0; m < NCONS; ++m) {
+            dU(i, j, k, m) -=
+                scale * (fxc(i, j, k, m) - fxc(i - e[0], j - e[1], k - e[2], m));
+        }
+    });
+}
+
+void wenoFluxFortranStyle(int dir, const Array4<const Real>& S,
+                          const Array4<const Real>& metrics, const Box& validBox,
+                          const Array4<Real>& dU, Real dxi, const GasModel& gas,
+                          WenoScheme scheme, Reconstruction recon) {
+    const IntVect e = IntVect::basis(dir);
+    const int lo = validBox.smallEnd(dir), hi = validBox.bigEnd(dir);
+    const int nline = hi - lo + 1;
+
+    // 1-D line scratch reused across every pencil — the original Fortran
+    // structure that is fast on CPU but racy if naively parallelized over
+    // all three dimensions (which is exactly why the GPU port moved to the
+    // staged 3-D-scratch form above).
+    std::vector<CellFlux> line(static_cast<std::size_t>(nline) + 6);
+    std::vector<Real> cons(static_cast<std::size_t>(nline + 6) * NCONS);
+    std::vector<Real> flux(static_cast<std::size_t>(nline + 1) * NCONS);
+    CellFlux* __restrict__ lf = line.data();
+    Real* __restrict__ lc = cons.data();
+    Real* __restrict__ fl = flux.data();
+
+    const int d1 = (dir + 1) % 3, d2 = (dir + 2) % 3;
+    for (int c2 = validBox.smallEnd(d2); c2 <= validBox.bigEnd(d2); ++c2) {
+        for (int c1 = validBox.smallEnd(d1); c1 <= validBox.bigEnd(d1); ++c1) {
+            IntVect p;
+            p[d1] = c1;
+            p[d2] = c2;
+            // Gather the pencil including 3 ghost cells each side.
+            for (int l = 0; l < nline + 6; ++l) {
+                p[dir] = lo - 3 + l;
+                lf[l] = cellFlux(S, metrics, p[0], p[1], p[2], dir, gas);
+                for (int m = 0; m < NCONS; ++m)
+                    lc[l * NCONS + m] = S(p[0], p[1], p[2], m);
+            }
+            // Interface fluxes along the pencil (interface f at line index
+            // f corresponds to cell interface lo-1+f+1/2).
+            for (int f = 0; f <= nline; ++f) {
+                Real consWin[6][NCONS];
+                for (int l = 0; l < 6; ++l)
+                    for (int m = 0; m < NCONS; ++m)
+                        consWin[l][m] = lc[(f + l) * NCONS + m];
+                interfaceFlux(&lf[f], consWin, scheme, recon, gas, &fl[f * NCONS]);
+            }
+            // Difference into dU.
+            for (int c0 = lo; c0 <= hi; ++c0) {
+                p[dir] = c0;
+                const Real scale =
+                    1.0 / (dxi * jacobian(metrics, p[0], p[1], p[2]));
+                const int f = c0 - lo;
+                for (int m = 0; m < NCONS; ++m) {
+                    dU(p[0], p[1], p[2], m) -=
+                        scale * (fl[(f + 1) * NCONS + m] - fl[f * NCONS + m]);
+                }
+            }
+        }
+    }
+    (void)e;
+}
+
+} // namespace
+
+void wenoFlux(int dir, const Array4<const Real>& S,
+              const Array4<const Real>& metrics, const Box& validBox,
+              const Array4<Real>& dU, Real dxi, const GasModel& gas,
+              WenoScheme scheme, KernelVariant variant, Reconstruction recon) {
+    assert(dir >= 0 && dir < 3);
+    if (variant == KernelVariant::Portable) {
+        wenoFluxPortable(dir, S, metrics, validBox, dU, dxi, gas, scheme, recon);
+    } else {
+        wenoFluxFortranStyle(dir, S, metrics, validBox, dU, dxi, gas, scheme,
+                             recon);
+    }
+}
+
+} // namespace crocco::core

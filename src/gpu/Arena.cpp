@@ -1,0 +1,25 @@
+#include "gpu/Arena.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crocco::gpu {
+
+void Arena::allocate(std::int64_t bytes) {
+    assert(bytes >= 0);
+    if (capacity_ != 0 && inUse_ + bytes > capacity_) {
+        throw OutOfDeviceMemory("device arena overflow: in use " +
+                                std::to_string(inUse_) + " B + request " +
+                                std::to_string(bytes) + " B > capacity " +
+                                std::to_string(capacity_) + " B");
+    }
+    inUse_ += bytes;
+    highWater_ = std::max(highWater_, inUse_);
+}
+
+void Arena::release(std::int64_t bytes) {
+    assert(bytes >= 0 && bytes <= inUse_);
+    inUse_ -= bytes;
+}
+
+} // namespace crocco::gpu

@@ -1,0 +1,66 @@
+#pragma once
+
+#include "amr/Box.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace crocco::gpu {
+
+using amr::Box;
+
+/// Kernel-launch abstractions mirroring the AMReX GPU API the paper ports
+/// CRoCCo onto (amrex::ParallelFor / amrex::launch).
+///
+/// There is no physical GPU in this reproduction, so kernels execute on the
+/// host — but through the same one-thread-per-cell decomposition the GPU
+/// port uses. That preserves the port's correctness constraints (the paper's
+/// data-race issues with shared scratch arrays are real here too: a kernel
+/// that races on scratch produces wrong answers in tests), while the
+/// execution-time cost of running on a V100 is charged separately by
+/// DeviceModel.
+
+/// One logical thread per cell of `box`: f(i, j, k).
+template <typename F>
+inline void ParallelFor(const Box& box, F&& f) {
+    amr::forEachCell(box, f);
+}
+
+/// One logical thread per (cell, component): f(i, j, k, n).
+template <typename F>
+inline void ParallelFor(const Box& box, int ncomp, F&& f) {
+    for (int n = 0; n < ncomp; ++n)
+        amr::forEachCell(box, [&](int i, int j, int k) { f(i, j, k, n); });
+}
+
+/// Whole-box launch: the functor receives the box and iterates itself
+/// (mirrors amrex::launch, used for kernels with interior loop carried
+/// dependencies that must not be auto-parallelized per cell).
+template <typename F>
+inline void launch(const Box& box, F&& f) {
+    f(box);
+}
+
+/// Device-wide min-reduction over cells (mirrors amrex::ReduceData /
+/// ReduceOps with ReduceOpMin, used by ComputeDt).
+template <typename F>
+inline double ReduceMin(const Box& box, F&& f) {
+    double m = std::numeric_limits<double>::infinity();
+    amr::forEachCell(box, [&](int i, int j, int k) {
+        const double v = f(i, j, k);
+        if (v < m) m = v;
+    });
+    return m;
+}
+
+template <typename F>
+inline double ReduceMax(const Box& box, F&& f) {
+    double m = -std::numeric_limits<double>::infinity();
+    amr::forEachCell(box, [&](int i, int j, int k) {
+        const double v = f(i, j, k);
+        if (v > m) m = v;
+    });
+    return m;
+}
+
+} // namespace crocco::gpu

@@ -1,0 +1,114 @@
+#include "io/Plotfile.hpp"
+
+#include <fstream>
+
+namespace crocco::io {
+
+using amr::Box;
+using amr::IntVect;
+using core::NCONS;
+
+std::vector<std::string> fieldNames() {
+    return {"rho", "u", "v", "w", "p"};
+}
+
+namespace {
+
+std::array<double, 5> primitives(const amr::Array4<const amr::Real>& a, int i,
+                                 int j, int k, const core::GasModel& gas) {
+    const double rho = a(i, j, k, core::URHO);
+    const double u = a(i, j, k, core::UMX) / rho;
+    const double v = a(i, j, k, core::UMY) / rho;
+    const double w = a(i, j, k, core::UMZ) / rho;
+    const double p = gas.pressure(rho, u, v, w, a(i, j, k, core::UEDEN));
+    return {rho, u, v, w, p};
+}
+
+} // namespace
+
+void writeVtk(const core::CroccoAmr& solver, const std::string& prefix) {
+    const core::GasModel gas; // primitive conversion (gamma-law)
+    for (int lev = 0; lev <= solver.finestLevel(); ++lev) {
+        std::ofstream os(prefix + "_lev" + std::to_string(lev) + ".vtk");
+        os << "# vtk DataFile Version 3.0\n";
+        os << "CRoCCo level " << lev << " t=" << solver.time() << "\n";
+        os << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
+
+        const auto& U = solver.state(lev);
+        const auto& X = solver.coords(lev);
+        const std::int64_t ncells = U.numPts();
+        // Each cell is written as an independent hexahedron with vertices
+        // approximated from neighboring cell-center coordinates (simple and
+        // robust for visualization; no shared-vertex bookkeeping).
+        os << "POINTS " << 8 * ncells << " double\n";
+        const auto dxi = solver.geom(lev).cellSizeArray();
+        for (int f = 0; f < U.numFabs(); ++f) {
+            auto x = X.const_array(f);
+            amr::forEachCell(U.validBox(f), [&](int i, int j, int k) {
+                for (int dk = 0; dk <= 1; ++dk)
+                    for (int dj = 0; dj <= 1; ++dj)
+                        for (int di = 0; di <= 1; ++di) {
+                            // Corner = average of this center and the
+                            // diagonal neighbor's (ghost coords are filled).
+                            const int oi = di * 2 - 1, oj = dj * 2 - 1,
+                                      ok = dk * 2 - 1;
+                            for (int c = 0; c < 3; ++c)
+                                os << 0.5 * (x(i, j, k, c) +
+                                             x(i + oi, j + oj, k + ok, c))
+                                   << (c == 2 ? '\n' : ' ');
+                        }
+            });
+        }
+        os << "CELLS " << ncells << ' ' << 9 * ncells << '\n';
+        for (std::int64_t c = 0; c < ncells; ++c) {
+            // VTK hexahedron vertex order from our (di,dj,dk) loop order.
+            const std::int64_t b = 8 * c;
+            os << "8 " << b + 0 << ' ' << b + 1 << ' ' << b + 3 << ' ' << b + 2
+               << ' ' << b + 4 << ' ' << b + 5 << ' ' << b + 7 << ' ' << b + 6
+               << '\n';
+        }
+        os << "CELL_TYPES " << ncells << '\n';
+        for (std::int64_t c = 0; c < ncells; ++c) os << "12\n";
+
+        os << "CELL_DATA " << ncells << '\n';
+        const auto names = fieldNames();
+        for (std::size_t n = 0; n < names.size(); ++n) {
+            os << "SCALARS " << names[n] << " double 1\nLOOKUP_TABLE default\n";
+            for (int f = 0; f < U.numFabs(); ++f) {
+                auto a = U.const_array(f);
+                amr::forEachCell(U.validBox(f), [&](int i, int j, int k) {
+                    os << primitives(a, i, j, k, gas)[n] << '\n';
+                });
+            }
+        }
+        (void)dxi;
+    }
+}
+
+void writeCsv(const core::CroccoAmr& solver, const std::string& path) {
+    const core::GasModel gas;
+    std::ofstream os(path);
+    os << "x,y,z,level,rho,u,v,w,p\n";
+    for (int lev = solver.finestLevel(); lev >= 0; --lev) {
+        const auto& U = solver.state(lev);
+        const auto& X = solver.coords(lev);
+        for (int f = 0; f < U.numFabs(); ++f) {
+            auto a = U.const_array(f);
+            auto x = X.const_array(f);
+            amr::forEachCell(U.validBox(f), [&](int i, int j, int k) {
+                if (lev < solver.finestLevel()) {
+                    const IntVect fine =
+                        IntVect{i, j, k} * solver.refRatio();
+                    if (solver.boxArray(lev + 1).contains(fine)) return;
+                }
+                const auto q = primitives(a, i, j, k, gas);
+                os << x(i, j, k, 0) << ',' << x(i, j, k, 1) << ','
+                   << x(i, j, k, 2) << ',' << lev;
+                for (double v : q) os << ',' << v;
+                os << '\n';
+            });
+        }
+    }
+}
+
+} // namespace crocco::io

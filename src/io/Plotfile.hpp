@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/CroccoAmr.hpp"
+
+#include <string>
+#include <vector>
+
+namespace crocco::io {
+
+/// Visualization output for the solver (AMReX provides grid I/O as one of
+/// its "state-of-the-art methods", §VII-B; this is our equivalent).
+///
+/// Two formats:
+///  * writeVtk: one legacy-VTK unstructured file per AMR level, cells as
+///    hexahedra at their *physical* (curvilinear) positions with the
+///    primitive fields attached — loadable in ParaView/VisIt.
+///  * writeCsv: flat per-cell table (x, y, z, level, rho, u, v, w, p) of
+///    the finest covering data, for scripted analysis.
+///
+/// Both write the conserved state converted to primitives.
+void writeVtk(const core::CroccoAmr& solver, const std::string& prefix);
+void writeCsv(const core::CroccoAmr& solver, const std::string& path);
+
+/// Names of the fields emitted, in component order.
+std::vector<std::string> fieldNames();
+
+} // namespace crocco::io

@@ -1,0 +1,68 @@
+#include "machine/NetworkModel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace crocco::machine {
+
+double NetworkModel::contention(int nodes) const {
+    assert(nodes >= 1);
+    return 1.0 + contentionPerDoubling * std::log2(static_cast<double>(nodes));
+}
+
+double NetworkModel::p2pPhaseTime(int nmsgs, std::int64_t bytes, int nodes,
+                                  bool gpuRun, int ranksPerNode) const {
+    const double perMsg = latency + (gpuRun ? gpuStagingOverhead : 0.0);
+    const double rankBandwidth =
+        bandwidth * (gpuRun ? gpuDirectFactor : 1.0) / std::max(1, ranksPerNode);
+    return nmsgs * perMsg +
+           static_cast<double>(bytes) / rankBandwidth * contention(nodes);
+}
+
+double NetworkModel::reductionTime(int nranks, int nodes) const {
+    if (nranks <= 1) return 0.0;
+    const double rounds = std::ceil(std::log2(static_cast<double>(nranks)));
+    return 2.0 * rounds * latency * contention(nodes);
+}
+
+double NetworkModel::parallelCopyMetaTime(int nranks, bool gpuRun) const {
+    // Header exchange / source discovery touches every rank. GPU runs have
+    // far fewer ranks, so the same per-rank constant applies.
+    (void)gpuRun;
+    return parallelCopyMetaPerRank * nranks;
+}
+
+void PhaseLoad::addMessage(int src, int dst, std::int64_t nbytes) {
+    if (src == dst) return;
+    assert(src >= 0 && src < nRanks() && dst >= 0 && dst < nRanks());
+    msgs_[src] += 1;
+    msgs_[dst] += 1;
+    bytes_[src] += nbytes;
+    bytes_[dst] += nbytes;
+}
+
+int PhaseLoad::maxMessages() const {
+    return *std::max_element(msgs_.begin(), msgs_.end());
+}
+
+std::int64_t PhaseLoad::maxBytes() const {
+    return *std::max_element(bytes_.begin(), bytes_.end());
+}
+
+std::int64_t PhaseLoad::totalBytes() const {
+    std::int64_t t = 0;
+    for (auto b : bytes_) t += b;
+    return t / 2; // each message counted at both endpoints
+}
+
+double PhaseLoad::time(const NetworkModel& net, int nodes, bool gpuRun,
+                       int ranksPerNode) const {
+    // The busiest rank's message count and byte volume may peak on
+    // different ranks; both bound the phase.
+    return std::max(net.p2pPhaseTime(maxMessages(), maxBytes(), nodes, gpuRun,
+                                     ranksPerNode),
+                    0.0);
+}
+
+} // namespace crocco::machine

@@ -1,0 +1,113 @@
+#pragma once
+
+#include "amr/AmrCore.hpp"
+#include "core/CroccoAmr.hpp"
+#include "machine/NetworkModel.hpp"
+#include "machine/SummitMachine.hpp"
+
+#include <map>
+#include <string>
+
+namespace crocco::machine {
+
+/// Grid metadata of one AMR level at paper scale — boxes and ownership
+/// only, no field allocation (4.19e10 points is just ~10^5 boxes of
+/// metadata).
+struct LevelMeta {
+    amr::BoxArray ba;
+    amr::DistributionMapping dm;
+    amr::Geometry geom;
+};
+
+/// Metadata of a full hierarchy for one scaling configuration.
+struct HierarchyMeta {
+    std::vector<LevelMeta> levels;
+    amr::IntVect refRatio{2, 2, 2};
+
+    std::int64_t activePoints() const;
+    int finestLevel() const { return static_cast<int>(levels.size()) - 1; }
+};
+
+/// Per-iteration modeled time broken into the regions the paper profiles
+/// with TinyProfiler (Figs. 6-7).
+struct RegionTimes {
+    double fillBoundary = 0;      ///< p2p ghost exchange inside FillPatch
+    double parallelCopy = 0;      ///< FillPatch's coarse-data gather
+    double parallelCopyInterp = 0;///< the curvilinear interpolator's extra
+                                  ///< global coordinate gather (v2.0 only)
+    double interpCompute = 0;
+    double advance = 0;           ///< WENOx/y/z + Viscous + BC_Fill
+    double update = 0;            ///< RK accumulation
+    double computeDt = 0;
+    double averageDown = 0;
+    double regrid = 0;            ///< amortized per iteration
+
+    double fillPatch() const {
+        return fillBoundary + parallelCopy + parallelCopyInterp + interpCompute;
+    }
+    double total() const {
+        return fillPatch() + advance + update + computeDt + averageDown + regrid;
+    }
+};
+
+/// One point of the paper's scaling studies (Table I rows, Fig. 5 axes).
+struct ScalingCase {
+    core::CodeVersion version = core::CodeVersion::V20;
+    int nodes = 4;
+    std::int64_t equivalentPoints = 0; ///< uniform-finest-resolution count
+};
+
+/// Replays one CRoCCo iteration against the Summit machine model using
+/// exact AMR communication metadata (real BoxArray/DistributionMapping
+/// machinery, no field data). See DESIGN.md §1 for why this substitution
+/// preserves the paper's scaling behaviour.
+class ScalingSimulator {
+public:
+    struct Params {
+        SummitMachine machine;
+        NetworkModel network;
+        /// Fraction of the domain covered by each refined level (the DMR
+        /// shock/turbulence band); defaults give the paper's 89-94% active
+        /// point reduction.
+        double level1Fraction = 0.20;
+        double level2Fraction = 0.055;
+        int blockingFactor = 8;
+        int maxGridSize = 128;    ///< paper's hand-tuned value (GPU runs)
+        /// Granularity of the synthesized refined-level boxes: Berger-
+        /// Rigoutsos clustering of a shock band yields boxes well below
+        /// max_grid_size.
+        int bandTileSize = 64;
+        int boxesPerCpuRank = 4;  ///< target decomposition for CPU runs
+        int regridFreq = 10;
+        /// Fraction of a level's bytes that move when regridding.
+        double regridMoveFraction = 0.3;
+    };
+
+    ScalingSimulator();
+    explicit ScalingSimulator(const Params& params);
+    const Params& params() const { return params_; }
+
+    /// Build the grid hierarchy metadata for one case.
+    HierarchyMeta buildHierarchy(const ScalingCase& c) const;
+
+    /// Modeled wall time of one iteration, by region.
+    RegionTimes iterationTime(const ScalingCase& c) const;
+
+    /// GPU memory demand per V100 for one case (bytes); compared against
+    /// the 16 GB arena to reproduce the paper's problem-size ceiling.
+    std::int64_t gpuBytesPerRank(const ScalingCase& c) const;
+
+    static bool isGpuVersion(core::CodeVersion v) {
+        return v == core::CodeVersion::V20 || v == core::CodeVersion::V21;
+    }
+    static bool isAmrVersion(core::CodeVersion v) {
+        return v != core::CodeVersion::V10 && v != core::CodeVersion::V11;
+    }
+
+    int ranksFor(const ScalingCase& c) const;
+
+private:
+    Params params_;
+};
+
+} // namespace crocco::machine

@@ -1,0 +1,5 @@
+#include "machine/SummitMachine.hpp"
+
+// SummitMachine is header-only today; this TU anchors the library target and
+// keeps a home for future out-of-line machine logic.
+namespace crocco::machine {} // namespace crocco::machine

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "gpu/DeviceModel.hpp"
+
+namespace crocco::machine {
+
+/// Composition of one Summit node (§V-A): two 22-core IBM POWER9 sockets
+/// and six NVIDIA V100s, fat-tree interconnect. CPU-only CRoCCo runs
+/// MPI-rank-per-core (42 usable cores; 2 are reserved for system daemons on
+/// Summit); GPU runs place one rank per GPU.
+struct SummitMachine {
+    int usableCoresPerNode = 42;
+    int gpusPerNode = 6;
+    gpu::V100Model v100;
+    gpu::P9SocketModel p9;
+
+    int ranksPerNode(bool gpuRun) const {
+        return gpuRun ? gpusPerNode : usableCoresPerNode;
+    }
+
+    /// Modeled execution time of one kernel sweep over `points` grid points
+    /// on a single rank's resource (one P9 core or one V100).
+    double rankKernelTime(const gpu::KernelProfile& k, std::int64_t points,
+                          bool gpuRun, bool cppKernels) const {
+        if (gpuRun) return v100.kernelTime(k, points);
+        // One core of the socket model.
+        const double coreRate =
+            p9.coreFlopsFortran / (cppKernels ? p9.cppSlowdown : 1.0);
+        return k.flopsPerPoint * static_cast<double>(points) / coreRate;
+    }
+};
+
+} // namespace crocco::machine

@@ -1,0 +1,96 @@
+#include "mesh/Mapping.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crocco::mesh {
+
+namespace {
+constexpr Real pi = 3.14159265358979323846;
+
+Real lerp1(Real lo, Real hi, Real t) { return lo + (hi - lo) * t; }
+} // namespace
+
+std::array<Real, 3> UniformMapping::toPhysical(Real xi, Real eta, Real zeta) const {
+    return {lerp1(lo_[0], hi_[0], xi), lerp1(lo_[1], hi_[1], eta),
+            lerp1(lo_[2], hi_[2], zeta)};
+}
+
+StretchedMapping::StretchedMapping(std::array<Real, 3> lo, std::array<Real, 3> hi,
+                                   int dim, Real beta)
+    : lo_(lo), hi_(hi), dim_(dim), beta_(beta) {
+    assert(dim >= 0 && dim < 3 && beta > 0);
+}
+
+std::array<Real, 3> StretchedMapping::toPhysical(Real xi, Real eta, Real zeta) const {
+    std::array<Real, 3> s{xi, eta, zeta};
+    // tanh clustering toward s = 0 (small physical spacing at the wall);
+    // smooth and monotone on the extended computational line, so ghost
+    // coordinates extrapolate naturally.
+    s[dim_] = 1.0 - std::tanh(beta_ * (1.0 - s[dim_])) / std::tanh(beta_);
+    return {lerp1(lo_[0], hi_[0], s[0]), lerp1(lo_[1], hi_[1], s[1]),
+            lerp1(lo_[2], hi_[2], s[2])};
+}
+
+RampMapping::RampMapping(std::array<Real, 3> lo, std::array<Real, 3> hi,
+                         Real angleDeg, Real cornerXi)
+    : lo_(lo), hi_(hi), tanAngle_(std::tan(angleDeg * pi / 180.0)),
+      cornerXi_(cornerXi) {
+    assert(cornerXi > 0 && cornerXi < 1);
+}
+
+std::array<Real, 3> RampMapping::toPhysical(Real xi, Real eta, Real zeta) const {
+    const Real x = lerp1(lo_[0], hi_[0], xi);
+    const Real z = lerp1(lo_[2], hi_[2], zeta);
+    // Wall height rises past the corner; a quadratic blend over a short
+    // streamwise span keeps the mapping C1 so the metrics stay smooth.
+    const Real xc = lerp1(lo_[0], hi_[0], cornerXi_);
+    const Real blend = 0.05 * (hi_[0] - lo_[0]);
+    Real wall;
+    if (x <= xc - blend) {
+        wall = 0.0;
+    } else if (x >= xc + blend) {
+        wall = (x - xc) * tanAngle_;
+    } else {
+        const Real t = (x - (xc - blend)) / (2 * blend);
+        wall = t * t * blend * tanAngle_; // C1 parabolic fillet
+    }
+    // Grid lines shear from the deflected wall (eta = 0) to the straight
+    // upper boundary (eta = 1).
+    const Real y = lerp1(lo_[1] + wall, hi_[1], eta);
+    return {x, y, z};
+}
+
+WavyMapping::WavyMapping(std::array<Real, 3> lo, std::array<Real, 3> hi,
+                         Real amplitude)
+    : lo_(lo), hi_(hi), amp_(amplitude) {}
+
+std::array<Real, 3> WavyMapping::toPhysical(Real xi, Real eta, Real zeta) const {
+    const Real x = lerp1(lo_[0], hi_[0], xi);
+    const Real y = lerp1(lo_[1], hi_[1], eta);
+    const Real z = lerp1(lo_[2], hi_[2], zeta);
+    const Real lx = hi_[0] - lo_[0], ly = hi_[1] - lo_[1], lz = hi_[2] - lo_[2];
+    return {x + amp_ * lx * std::sin(2 * pi * eta) * std::sin(2 * pi * zeta),
+            y + amp_ * ly * std::sin(2 * pi * xi) * std::sin(2 * pi * zeta),
+            z + amp_ * lz * std::sin(2 * pi * xi) * std::sin(2 * pi * eta)};
+}
+
+InteriorWavyMapping::InteriorWavyMapping(std::array<Real, 3> lo,
+                                         std::array<Real, 3> hi, Real amplitude)
+    : lo_(lo), hi_(hi), amp_(amplitude) {}
+
+std::array<Real, 3> InteriorWavyMapping::toPhysical(Real xi, Real eta,
+                                                    Real zeta) const {
+    const Real x = lerp1(lo_[0], hi_[0], xi);
+    const Real y = lerp1(lo_[1], hi_[1], eta);
+    const Real z = lerp1(lo_[2], hi_[2], zeta);
+    const Real sx = std::sin(pi * xi), sy = std::sin(pi * eta);
+    // Only x is perturbed. The sin^2 factors are even about every face, so a
+    // mirrored ghost index maps to the exact mirror point (x unchanged, y
+    // negated about the wall) — required by the index-mirror wall BCs. The
+    // eta dependence of x still makes the grid genuinely non-orthogonal.
+    const Real bump = amp_ * sx * sx * sy * sy;
+    return {x + bump * (hi_[0] - lo_[0]), y, z};
+}
+
+} // namespace crocco::mesh

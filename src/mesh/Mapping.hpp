@@ -1,0 +1,102 @@
+#pragma once
+
+#include "amr/Array4.hpp"
+
+#include <array>
+#include <memory>
+
+namespace crocco::mesh {
+
+using amr::Real;
+
+/// Analytic mapping from the unit computational cube (ξ, η, ζ) ∈ [0,1]³ to
+/// physical space (x, y, z). CRoCCo's grids are generated from such
+/// mappings ("combinations of complex hyperbolic and trigonometric
+/// functions", §III-C) and then *stored*, because evaluating them per access
+/// is too expensive — that storage decision is what drives the curvilinear
+/// code's 3x memory footprint and the coordinate ParallelCopy.
+class Mapping {
+public:
+    virtual ~Mapping() = default;
+    virtual std::array<Real, 3> toPhysical(Real xi, Real eta, Real zeta) const = 0;
+};
+
+/// Identity mapping scaled to a box: a uniform Cartesian grid. The control
+/// case — curvilinear machinery run on this grid must agree with the
+/// Cartesian code path to round-off.
+class UniformMapping final : public Mapping {
+public:
+    UniformMapping(std::array<Real, 3> lo, std::array<Real, 3> hi)
+        : lo_(lo), hi_(hi) {}
+    std::array<Real, 3> toPhysical(Real xi, Real eta, Real zeta) const override;
+
+private:
+    std::array<Real, 3> lo_, hi_;
+};
+
+/// Hyperbolic-tangent wall clustering along one dimension (the standard
+/// boundary-layer stretching CRoCCo uses for hypersonic wall-bounded flows):
+/// grid lines concentrate near the low face of dimension `dim` with
+/// stretching strength `beta` > 0.
+class StretchedMapping final : public Mapping {
+public:
+    StretchedMapping(std::array<Real, 3> lo, std::array<Real, 3> hi, int dim,
+                     Real beta);
+    std::array<Real, 3> toPhysical(Real xi, Real eta, Real zeta) const override;
+
+private:
+    std::array<Real, 3> lo_, hi_;
+    int dim_;
+    Real beta_;
+};
+
+/// Compression-corner ("ramp") geometry: flat plate that bends upward by
+/// `angleDeg` at fraction `cornerXi` of the streamwise extent, extruded in
+/// the spanwise (z) direction, with smooth grid-line blending in y between
+/// the deflected wall and the straight upper boundary. The 30-degree
+/// inviscid ramp of the double Mach reflection problem (§V-B) uses this with
+/// the shock impinging on the inclined face.
+class RampMapping final : public Mapping {
+public:
+    RampMapping(std::array<Real, 3> lo, std::array<Real, 3> hi, Real angleDeg,
+                Real cornerXi);
+    std::array<Real, 3> toPhysical(Real xi, Real eta, Real zeta) const override;
+
+private:
+    std::array<Real, 3> lo_, hi_;
+    Real tanAngle_;
+    Real cornerXi_;
+};
+
+/// Smoothly wavy grid (sinusoidal perturbation of all interior grid lines).
+/// Not a physical geometry — a stress test for free-stream preservation and
+/// metric accuracy on a grid with non-trivial curvature in every direction.
+class WavyMapping final : public Mapping {
+public:
+    WavyMapping(std::array<Real, 3> lo, std::array<Real, 3> hi, Real amplitude);
+    std::array<Real, 3> toPhysical(Real xi, Real eta, Real zeta) const override;
+
+private:
+    std::array<Real, 3> lo_, hi_;
+    Real amp_;
+};
+
+/// Boundary-conformal wavy grid: x and y grid lines are perturbed by
+/// sin²(πξ)·sin²(πη) terms that vanish *with zero slope* on every domain
+/// face, so all six faces stay planar and wall-mirror ghost indexing stays
+/// geometrically consistent, while the interior is genuinely curvilinear.
+/// No ζ dependence, so the spanwise direction remains periodic-compatible.
+/// This is the grid the curvilinear DMR runs on (§V-B: "although unnecessary
+/// for this problem, we use general curvilinear coordinates").
+class InteriorWavyMapping final : public Mapping {
+public:
+    InteriorWavyMapping(std::array<Real, 3> lo, std::array<Real, 3> hi,
+                        Real amplitude);
+    std::array<Real, 3> toPhysical(Real xi, Real eta, Real zeta) const override;
+
+private:
+    std::array<Real, 3> lo_, hi_;
+    Real amp_;
+};
+
+} // namespace crocco::mesh

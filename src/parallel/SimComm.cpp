@@ -1,0 +1,89 @@
+#include "parallel/SimComm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace crocco::parallel {
+
+void CommLog::record(Message m) {
+    if (enabled_) messages_.push_back(std::move(m));
+}
+
+std::size_t CommLog::count(MessageKind k) const {
+    return static_cast<std::size_t>(
+        std::count_if(messages_.begin(), messages_.end(),
+                      [k](const Message& m) { return m.kind == k; }));
+}
+
+std::int64_t CommLog::totalBytes() const {
+    std::int64_t b = 0;
+    for (const Message& m : messages_) b += m.bytes;
+    return b;
+}
+
+std::int64_t CommLog::totalBytes(MessageKind k) const {
+    std::int64_t b = 0;
+    for (const Message& m : messages_)
+        if (m.kind == k) b += m.bytes;
+    return b;
+}
+
+std::vector<std::int64_t> CommLog::bytesPerRank(int nranks) const {
+    std::vector<std::int64_t> per(nranks, 0);
+    for (const Message& m : messages_) {
+        assert(m.src < nranks && m.dst < nranks);
+        per[m.src] += m.bytes;
+        per[m.dst] += m.bytes;
+    }
+    return per;
+}
+
+SimComm::SimComm(int nranks) : nranks_(nranks) { assert(nranks >= 1); }
+
+void SimComm::recordP2P(int src, int dst, std::int64_t bytes, const std::string& tag) {
+    if (src == dst) return; // on-rank copies never hit the network
+    recordMessage(src, dst, bytes, MessageKind::PointToPoint, tag);
+}
+
+void SimComm::recordMessage(int src, int dst, std::int64_t bytes, MessageKind kind,
+                            const std::string& tag) {
+    assert(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
+    log_.record(Message{src, dst, bytes, kind, tag});
+}
+
+namespace {
+// A reduction over P ranks moves one value up and down a binomial tree:
+// log2(P) rounds, each rank sending one payload per round it participates
+// in. We log it as (P - 1) tree-edge messages, matching MPI_Allreduce's
+// minimal traffic.
+void logReduction(CommLog& log, int nranks, const std::string& tag,
+                  std::int64_t payloadBytes) {
+    for (int stride = 1; stride < nranks; stride *= 2) {
+        for (int r = 0; r + stride < nranks; r += 2 * stride) {
+            log.record(Message{r + stride, r, payloadBytes,
+                               MessageKind::Reduction, tag});
+        }
+    }
+}
+} // namespace
+
+double SimComm::reduceRealMin(const std::vector<double>& perRank, const std::string& tag) {
+    assert(static_cast<int>(perRank.size()) == nranks_);
+    logReduction(log_, nranks_, tag, static_cast<std::int64_t>(sizeof(double)));
+    return *std::min_element(perRank.begin(), perRank.end());
+}
+
+double SimComm::reduceRealMax(const std::vector<double>& perRank, const std::string& tag) {
+    assert(static_cast<int>(perRank.size()) == nranks_);
+    logReduction(log_, nranks_, tag, static_cast<std::int64_t>(sizeof(double)));
+    return *std::max_element(perRank.begin(), perRank.end());
+}
+
+double SimComm::reduceRealSum(const std::vector<double>& perRank, const std::string& tag) {
+    assert(static_cast<int>(perRank.size()) == nranks_);
+    logReduction(log_, nranks_, tag, static_cast<std::int64_t>(sizeof(double)));
+    return std::accumulate(perRank.begin(), perRank.end(), 0.0);
+}
+
+} // namespace crocco::parallel

@@ -1,0 +1,180 @@
+#include "problems/Canonical.hpp"
+
+#include "mesh/GridMetrics.hpp"
+
+#include <cmath>
+
+namespace crocco::problems {
+
+using amr::Box;
+using amr::Geometry;
+using amr::IntVect;
+using core::NCONS;
+
+namespace {
+
+constexpr Real kPi = 3.14159265358979323846;
+
+std::array<Real, NCONS> consState(Real gamma, Real rho, Real u, Real v, Real w,
+                                  Real p) {
+    return {rho, rho * u, rho * v, rho * w,
+            p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w)};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- SodTube
+
+SodTube::SodTube(int nx, int ny, int nz) {
+    const Box domain(IntVect::zero(), IntVect{nx - 1, ny - 1, nz - 1});
+    amr::Periodicity per;
+    per.periodic[1] = per.periodic[2] = true;
+    geom_ = Geometry(domain, {0, 0, 0}, {1, 1, 1}, per);
+    mapping_ = std::make_shared<mesh::UniformMapping>(
+        std::array<Real, 3>{0, 0, 0}, std::array<Real, 3>{1, 0.25, 0.25});
+}
+
+core::GasModel SodTube::gas() const { return {}; }
+
+core::InitFunct SodTube::initialCondition() const {
+    return [](Real x, Real, Real) {
+        return x < 0.5 ? consState(1.4, 1.0, 0, 0, 0, 1.0)
+                       : consState(1.4, 0.125, 0, 0, 0, 0.1);
+    };
+}
+
+amr::PhysBCFunct SodTube::boundaryConditions() const {
+    core::BCSpec spec;
+    spec.face[0][0] = {core::BCType::Outflow, {}};
+    spec.face[0][1] = {core::BCType::Outflow, {}};
+    spec.face[1][0] = spec.face[1][1] = {core::BCType::Periodic, {}};
+    spec.face[2][0] = spec.face[2][1] = {core::BCType::Periodic, {}};
+    return core::makeBCFunct(spec);
+}
+
+core::CroccoAmr::Config SodTube::solverConfig(bool amrEnabled) const {
+    core::CroccoAmr::Config cfg;
+    cfg.amrInfo.maxLevel = amrEnabled ? 1 : 0;
+    cfg.amrInfo.blockingFactor = 8;
+    cfg.amrInfo.maxGridSize = 32;
+    cfg.gas = gas();
+    cfg.cfl = 0.4;
+    cfg.regridFreq = 4;
+    cfg.tagging = {core::TagCriterion::DensityGradient, 0.02};
+    cfg.interp = core::InterpChoice::Trilinear;
+    return cfg;
+}
+
+// ------------------------------------------------------- IsentropicVortex
+
+IsentropicVortex::IsentropicVortex(int n, bool curvilinear) {
+    const Box domain(IntVect::zero(), IntVect{n - 1, n - 1, 7});
+    geom_ = Geometry(domain, {0, 0, 0}, {1, 1, 1}, amr::Periodicity::all());
+    const std::array<Real, 3> lo{0, 0, 0};
+    const std::array<Real, 3> hi{domainLen, domainLen, domainLen * 8.0 / n};
+    if (curvilinear) {
+        mapping_ = std::make_shared<mesh::InteriorWavyMapping>(lo, hi, 0.02);
+    } else {
+        mapping_ = std::make_shared<mesh::UniformMapping>(lo, hi);
+    }
+}
+
+core::GasModel IsentropicVortex::gas() const { return {}; }
+
+std::array<Real, NCONS> IsentropicVortex::exact(Real x, Real y, Real, Real t) const {
+    const Real gamma = 1.4;
+    const Real beta = 5.0;
+    // Vortex center advects with the free stream; wrap periodically.
+    Real cx = domainLen / 2 + uInf * t, cy = domainLen / 2 + vInf * t;
+    Real dx = x - cx, dy = y - cy;
+    dx -= domainLen * std::round(dx / domainLen);
+    dy -= domainLen * std::round(dy / domainLen);
+    const Real r2 = dx * dx + dy * dy;
+    const Real e = std::exp(0.5 * (1.0 - r2));
+    const Real u = uInf - beta / (2 * kPi) * e * dy;
+    const Real v = vInf + beta / (2 * kPi) * e * dx;
+    const Real T = 1.0 - (gamma - 1.0) * beta * beta / (8 * gamma * kPi * kPi) *
+                             std::exp(1.0 - r2);
+    const Real rho = std::pow(T, 1.0 / (gamma - 1.0));
+    const Real p = rho * T;
+    return consState(gamma, rho, u, v, 0.0, p);
+}
+
+core::InitFunct IsentropicVortex::initialCondition() const {
+    return [this](Real x, Real y, Real z) { return exact(x, y, z, 0.0); };
+}
+
+core::CroccoAmr::Config IsentropicVortex::solverConfig() const {
+    core::CroccoAmr::Config cfg;
+    cfg.amrInfo.maxLevel = 0;
+    cfg.amrInfo.blockingFactor = 8;
+    cfg.amrInfo.maxGridSize = 64;
+    cfg.gas = gas();
+    cfg.cfl = 0.4;
+    return cfg;
+}
+
+// ------------------------------------------------------------ TaylorGreen
+
+TaylorGreen::TaylorGreen(int n, Real reynolds) : reynolds_(reynolds) {
+    const Box domain(IntVect::zero(), IntVect{n - 1, n - 1, n - 1});
+    geom_ = Geometry(domain, {0, 0, 0}, {1, 1, 1}, amr::Periodicity::all());
+    const Real L = 2 * kPi;
+    mapping_ = std::make_shared<mesh::UniformMapping>(std::array<Real, 3>{0, 0, 0},
+                                                      std::array<Real, 3>{L, L, L});
+}
+
+core::GasModel TaylorGreen::gas() const {
+    core::GasModel g;
+    // Mach ~0.1 reference flow with unit velocity scale: mu = rho0 V L / Re.
+    g.muRef = 1.0 / reynolds_;
+    g.Tref = 1.0 / (g.Rgas); // T of the reference state (rho0 = p0 = 1)
+    return g;
+}
+
+core::InitFunct TaylorGreen::initialCondition() const {
+    return [](Real x, Real y, Real z) {
+        const Real gamma = 1.4;
+        const Real V0 = 0.1; // keeps the flow near-incompressible
+        const Real p0 = 1.0;
+        const Real rho0 = 1.0;
+        const Real u = V0 * std::sin(x) * std::cos(y) * std::cos(z);
+        const Real v = -V0 * std::cos(x) * std::sin(y) * std::cos(z);
+        const Real p = p0 + rho0 * V0 * V0 / 16.0 * (std::cos(2 * x) + std::cos(2 * y)) *
+                                (std::cos(2 * z) + 2.0);
+        return consState(gamma, rho0, u, v, 0.0, p);
+    };
+}
+
+core::CroccoAmr::Config TaylorGreen::solverConfig() const {
+    core::CroccoAmr::Config cfg;
+    cfg.amrInfo.maxLevel = 0;
+    cfg.amrInfo.blockingFactor = 8;
+    cfg.amrInfo.maxGridSize = 64;
+    cfg.gas = gas();
+    cfg.cfl = 0.4;
+    return cfg;
+}
+
+Real TaylorGreen::kineticEnergy(const core::CroccoAmr& solver) {
+    Real ke = 0.0;
+    const auto& U = solver.state(0);
+    const auto& metrics = solver.metrics(0);
+    const auto dxi = solver.geom(0).cellSizeArray();
+    const Real dV = dxi[0] * dxi[1] * dxi[2];
+    for (int f = 0; f < U.numFabs(); ++f) {
+        auto u = U.const_array(f);
+        auto m = metrics.const_array(f);
+        amr::forEachCell(U.validBox(f), [&](int i, int j, int k) {
+            const Real rho = u(i, j, k, core::URHO);
+            const Real mx = u(i, j, k, core::UMX);
+            const Real my = u(i, j, k, core::UMY);
+            const Real mz = u(i, j, k, core::UMZ);
+            ke += 0.5 * (mx * mx + my * my + mz * mz) / rho *
+                  mesh::jacobian(m, i, j, k) * dV;
+        });
+    }
+    return ke;
+}
+
+} // namespace crocco::problems

@@ -1,0 +1,72 @@
+#pragma once
+
+#include "core/CroccoAmr.hpp"
+
+namespace crocco::problems {
+
+using amr::Real;
+
+/// Canonical verification problems used by the test suite and the
+/// convergence studies. Each bundles geometry, gas model, initial condition
+/// and boundary conditions for the CroccoAmr driver.
+
+/// Sod shock tube along x: validates shock/contact/rarefaction capture
+/// against the exact Riemann solution. Outflow in x, periodic in y and z.
+class SodTube {
+public:
+    SodTube(int nx, int ny = 8, int nz = 8);
+    const amr::Geometry& geometry() const { return geom_; }
+    std::shared_ptr<const mesh::Mapping> mapping() const { return mapping_; }
+    core::GasModel gas() const;
+    core::InitFunct initialCondition() const;
+    amr::PhysBCFunct boundaryConditions() const;
+    core::CroccoAmr::Config solverConfig(bool amrEnabled) const;
+
+private:
+    amr::Geometry geom_;
+    std::shared_ptr<const mesh::Mapping> mapping_;
+};
+
+/// Isentropic vortex advected by a uniform stream on a fully periodic
+/// domain: smooth exact solution, used for order-of-accuracy measurement.
+class IsentropicVortex {
+public:
+    IsentropicVortex(int n, bool curvilinear = false);
+    const amr::Geometry& geometry() const { return geom_; }
+    std::shared_ptr<const mesh::Mapping> mapping() const { return mapping_; }
+    core::GasModel gas() const;
+    core::InitFunct initialCondition() const;
+    /// Exact conserved state at (x, y, z) after time t (periodic wrap).
+    std::array<Real, core::NCONS> exact(Real x, Real y, Real z, Real t) const;
+    core::CroccoAmr::Config solverConfig() const;
+
+    static constexpr Real domainLen = 10.0;
+    static constexpr Real uInf = 1.0, vInf = 0.5;
+
+private:
+    amr::Geometry geom_;
+    std::shared_ptr<const mesh::Mapping> mapping_;
+};
+
+/// Taylor-Green vortex: triply periodic viscous decay problem exercising
+/// the Viscous kernel; kinetic energy must decay monotonically after
+/// transition onset at these resolutions.
+class TaylorGreen {
+public:
+    TaylorGreen(int n, Real reynolds = 100.0);
+    const amr::Geometry& geometry() const { return geom_; }
+    std::shared_ptr<const mesh::Mapping> mapping() const { return mapping_; }
+    core::GasModel gas() const;
+    core::InitFunct initialCondition() const;
+    core::CroccoAmr::Config solverConfig() const;
+
+    /// Volume-integrated kinetic energy of the current solution.
+    static Real kineticEnergy(const core::CroccoAmr& solver);
+
+private:
+    amr::Geometry geom_;
+    std::shared_ptr<const mesh::Mapping> mapping_;
+    Real reynolds_;
+};
+
+} // namespace crocco::problems

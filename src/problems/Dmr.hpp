@@ -1,0 +1,59 @@
+#pragma once
+
+#include "core/CroccoAmr.hpp"
+
+namespace crocco::problems {
+
+using amr::Real;
+
+/// The double Mach reflection problem of Woodward & Colella [1984] — the
+/// paper's test case (§V-B): an unsteady planar Mach 10 shock incident on a
+/// 30-degree inviscid compression ramp, solved in 3-D on (optionally)
+/// general curvilinear coordinates, periodic in the spanwise direction.
+///
+/// The standard computational-plane formulation is used: the ramp is
+/// unfolded onto a flat lower wall starting at x = 1/6, with the incident
+/// shock inclined 60 degrees to it; the exact pre/post-shock states track
+/// the shock along the top boundary.
+class Dmr {
+public:
+    struct Options {
+        int nx = 64, ny = 16, nz = 8; ///< level-0 cells; x:y extent is 4:1
+        Real spanZ = 1.0;
+        bool curvilinear = true;  ///< run on the interior-wavy grid
+        Real waveAmplitude = 0.02;
+        int maxLevel = 2;
+    };
+
+    Dmr();
+    explicit Dmr(const Options& opts);
+
+    const amr::Geometry& geometry() const { return geom_; }
+    std::shared_ptr<const mesh::Mapping> mapping() const { return mapping_; }
+    core::GasModel gas() const;
+
+    /// Initial condition: post-shock state behind the 60-degree shock
+    /// through (x0, 0), pre-shock quiescent gas ahead of it.
+    core::InitFunct initialCondition() const;
+
+    /// BC_Fill: inflow left, outflow right, mixed Dirichlet/slip-wall bottom
+    /// (wall from x >= 1/6), time-tracked exact shock states on top,
+    /// periodic spanwise.
+    amr::PhysBCFunct boundaryConditions() const;
+
+    /// Pre-configured solver for a given code version.
+    core::CroccoAmr::Config solverConfig(core::CodeVersion v) const;
+
+    static std::array<Real, core::NCONS> preShockState();
+    static std::array<Real, core::NCONS> postShockState();
+    /// Incident-shock x-position along the top boundary at time t.
+    static Real shockXAtTop(Real t, Real yTop);
+    static constexpr Real shockX0 = 1.0 / 6.0;
+
+private:
+    Options opts_;
+    amr::Geometry geom_;
+    std::shared_ptr<const mesh::Mapping> mapping_;
+};
+
+} // namespace crocco::problems

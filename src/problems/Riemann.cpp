@@ -1,0 +1,92 @@
+#include "problems/Riemann.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crocco::problems {
+
+namespace {
+
+/// f_K(p) and its derivative for the pressure iteration (Toro §4.3).
+void pressureFunction(Real p, const RiemannState& s, Real gamma, Real a,
+                      Real& f, Real& fd) {
+    if (p > s.p) { // shock
+        const Real A = 2.0 / ((gamma + 1.0) * s.rho);
+        const Real B = (gamma - 1.0) / (gamma + 1.0) * s.p;
+        const Real q = std::sqrt(A / (p + B));
+        f = (p - s.p) * q;
+        fd = q * (1.0 - 0.5 * (p - s.p) / (p + B));
+    } else { // rarefaction
+        const Real pr = p / s.p;
+        f = 2.0 * a / (gamma - 1.0) *
+            (std::pow(pr, (gamma - 1.0) / (2.0 * gamma)) - 1.0);
+        fd = std::pow(pr, -(gamma + 1.0) / (2.0 * gamma)) / (s.rho * a);
+    }
+}
+
+} // namespace
+
+RiemannState exactRiemann(const RiemannState& L, const RiemannState& R,
+                          Real gamma, Real xi) {
+    const Real aL = std::sqrt(gamma * L.p / L.rho);
+    const Real aR = std::sqrt(gamma * R.p / R.rho);
+
+    // Newton iteration for the star-region pressure.
+    Real p = std::max(1e-8, 0.5 * (L.p + R.p));
+    for (int it = 0; it < 60; ++it) {
+        Real fL, fdL, fR, fdR;
+        pressureFunction(p, L, gamma, aL, fL, fdL);
+        pressureFunction(p, R, gamma, aR, fR, fdR);
+        const Real g = fL + fR + (R.u - L.u);
+        const Real dp = g / (fdL + fdR);
+        p = std::max(1e-10, p - dp);
+        if (std::abs(dp) < 1e-12 * p) break;
+    }
+    Real fL, fdL, fR, fdR;
+    pressureFunction(p, L, gamma, aL, fL, fdL);
+    pressureFunction(p, R, gamma, aR, fR, fdR);
+    const Real ustar = 0.5 * (L.u + R.u) + 0.5 * (fR - fL);
+
+    // Sample at speed xi (Toro §4.5).
+    const Real g1 = (gamma - 1.0) / (gamma + 1.0);
+    if (xi < ustar) { // left of contact
+        if (p > L.p) { // left shock
+            const Real sL = L.u - aL * std::sqrt((gamma + 1.0) / (2 * gamma) * p / L.p +
+                                                 (gamma - 1.0) / (2 * gamma));
+            if (xi < sL) return L;
+            const Real rho = L.rho * ((p / L.p + g1) / (g1 * p / L.p + 1.0));
+            return {rho, ustar, p};
+        }
+        // left rarefaction
+        const Real aStar = aL * std::pow(p / L.p, (gamma - 1.0) / (2 * gamma));
+        if (xi < L.u - aL) return L;
+        if (xi > ustar - aStar) {
+            const Real rho = L.rho * std::pow(p / L.p, 1.0 / gamma);
+            return {rho, ustar, p};
+        }
+        const Real u = 2.0 / (gamma + 1.0) * (aL + 0.5 * (gamma - 1.0) * L.u + xi);
+        const Real a = 2.0 / (gamma + 1.0) * (aL + 0.5 * (gamma - 1.0) * (L.u - xi));
+        const Real rho = L.rho * std::pow(a / aL, 2.0 / (gamma - 1.0));
+        return {rho, u, L.p * std::pow(a / aL, 2.0 * gamma / (gamma - 1.0))};
+    }
+    // right of contact (mirror)
+    if (p > R.p) { // right shock
+        const Real sR = R.u + aR * std::sqrt((gamma + 1.0) / (2 * gamma) * p / R.p +
+                                             (gamma - 1.0) / (2 * gamma));
+        if (xi > sR) return R;
+        const Real rho = R.rho * ((p / R.p + g1) / (g1 * p / R.p + 1.0));
+        return {rho, ustar, p};
+    }
+    const Real aStar = aR * std::pow(p / R.p, (gamma - 1.0) / (2 * gamma));
+    if (xi > R.u + aR) return R;
+    if (xi < ustar + aStar) {
+        const Real rho = R.rho * std::pow(p / R.p, 1.0 / gamma);
+        return {rho, ustar, p};
+    }
+    const Real u = 2.0 / (gamma + 1.0) * (-aR + 0.5 * (gamma - 1.0) * R.u + xi);
+    const Real a = 2.0 / (gamma + 1.0) * (aR - 0.5 * (gamma - 1.0) * (R.u - xi));
+    const Real rho = R.rho * std::pow(a / aR, 2.0 / (gamma - 1.0));
+    return {rho, u, R.p * std::pow(a / aR, 2.0 * gamma / (gamma - 1.0))};
+}
+
+} // namespace crocco::problems

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "amr/Array4.hpp"
+
+namespace crocco::problems {
+
+using amr::Real;
+
+/// One side of a 1-D Riemann problem (primitive variables).
+struct RiemannState {
+    Real rho, u, p;
+};
+
+/// Exact solution of the 1-D Riemann problem for a calorically perfect gas
+/// (Toro's iterative solver): the self-similar state at speed xi = x/t.
+/// Used to validate the WENO solver on the Sod shock tube.
+RiemannState exactRiemann(const RiemannState& left, const RiemannState& right,
+                          Real gamma, Real xi);
+
+} // namespace crocco::problems

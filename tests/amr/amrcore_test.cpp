@@ -1,0 +1,168 @@
+#include "amr/AmrCore.hpp"
+#include "amr/BoxList.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crocco::amr {
+namespace {
+
+/// Minimal AmrCore subclass: tags a fixed sphere of cells at level 0 and a
+/// smaller one at level 1, records which hooks fired.
+class TestAmr : public AmrCore {
+public:
+    TestAmr(const Geometry& g, const AmrInfo& info) : AmrCore(g, info, 4) {}
+
+    void exposedErrorEst(int lev, std::vector<IntVect>& tags) {
+        errorEst(lev, tags, 0.0);
+    }
+
+    std::vector<std::string> events;
+    IntVect tagCenter{16, 16, 16};
+    int tagRadius = 5; // level-0 cells; finer levels tag the same physical ball
+
+    void errorEst(int lev, std::vector<IntVect>& tags, Real) override {
+        const int scale = (lev == 0) ? 1 : 2;
+        const IntVect c = tagCenter * scale;
+        const int r = tagRadius * scale;
+        forEachCell(Box(c - IntVect(r), c + IntVect(r)),
+                    [&](int i, int j, int k) { tags.push_back({i, j, k}); });
+    }
+    void makeNewLevelFromScratch(int lev, Real, const BoxArray&,
+                                 const DistributionMapping&) override {
+        events.push_back("scratch" + std::to_string(lev));
+    }
+    void makeNewLevelFromCoarse(int lev, Real, const BoxArray&,
+                                const DistributionMapping&) override {
+        events.push_back("coarse" + std::to_string(lev));
+    }
+    void remakeLevel(int lev, Real, const BoxArray&,
+                     const DistributionMapping&) override {
+        events.push_back("remake" + std::to_string(lev));
+    }
+    void clearLevel(int lev) override {
+        events.push_back("clear" + std::to_string(lev));
+    }
+};
+
+AmrInfo smallInfo() {
+    AmrInfo info;
+    info.maxLevel = 2;
+    info.blockingFactor = 8;
+    info.maxGridSize = 16;
+    info.nErrorBuf = 1;
+    return info;
+}
+
+Geometry unitGeom(int n) {
+    return Geometry(Box(IntVect::zero(), IntVect(n - 1)), {0, 0, 0}, {1, 1, 1});
+}
+
+TEST(MakeLevel0Grids, RespectsMaxSizeAndCoversDomain) {
+    AmrInfo info = smallInfo();
+    const Box domain(IntVect::zero(), IntVect(31));
+    const BoxArray ba = makeLevel0Grids(domain, info);
+    EXPECT_EQ(ba.numPts(), domain.numPts());
+    EXPECT_TRUE(ba.contains(domain));
+    for (const Box& b : ba.boxes()) {
+        EXPECT_LE(b.size().max(), info.maxGridSize);
+        EXPECT_TRUE(b.coarsenable(info.blockingFactor));
+    }
+}
+
+TEST(AmrCore, InitBuildsNestedHierarchy) {
+    TestAmr amr(unitGeom(32), smallInfo());
+    amr.initGrids(0.0);
+    EXPECT_EQ(amr.finestLevel(), 2);
+    // Initialization builds every level from scratch.
+    EXPECT_EQ(amr.events[0], "scratch0");
+    EXPECT_EQ(amr.events[1], "scratch1");
+    EXPECT_EQ(amr.events[2], "scratch2");
+
+    // Tagged cells are covered by the next level (refined).
+    for (int lev = 1; lev <= 2; ++lev) {
+        std::vector<IntVect> tags;
+        amr.exposedErrorEst(lev - 1, tags);
+        for (const IntVect& t : tags) {
+            EXPECT_TRUE(amr.boxArray(lev).contains(
+                Box(t, t).refine(amr.refRatio())))
+                << "level " << lev << " tag " << t;
+        }
+    }
+
+    // Proper nesting: each fine box, coarsened and grown by the buffer,
+    // stays inside the parent level within the domain.
+    for (int lev = 2; lev >= 1; --lev) {
+        for (const Box& b : amr.boxArray(lev).boxes()) {
+            const Box need = b.coarsen(amr.refRatio())
+                                 .grow(amr.info().properNestingBuffer) &
+                             amr.geom(lev - 1).domain();
+            EXPECT_TRUE(amr.boxArray(lev - 1).contains(need));
+        }
+    }
+
+    // Boxes at each level are pairwise disjoint.
+    for (int lev = 0; lev <= 2; ++lev) {
+        const auto& boxes = amr.boxArray(lev).boxes();
+        for (std::size_t i = 0; i < boxes.size(); ++i)
+            for (std::size_t j = i + 1; j < boxes.size(); ++j)
+                EXPECT_FALSE(boxes[i].intersects(boxes[j]));
+    }
+}
+
+TEST(AmrCore, PointCounts) {
+    TestAmr amr(unitGeom(32), smallInfo());
+    amr.initGrids(0.0);
+    EXPECT_EQ(amr.equivalentPoints(), 32ll * 32 * 32 * 64);
+    EXPECT_GT(amr.totalPoints(), amr.geom(0).domain().numPts());
+    EXPECT_LT(amr.totalPoints(), amr.equivalentPoints());
+}
+
+TEST(AmrCore, RegridTracksMovingTags) {
+    TestAmr amr(unitGeom(32), smallInfo());
+    amr.initGrids(0.0);
+    const BoxArray before1 = amr.boxArray(1);
+    amr.tagCenter = IntVect{8, 8, 8};
+    amr.events.clear();
+    amr.regrid(0, 0.0);
+    EXPECT_NE(amr.boxArray(1), before1);
+    // Levels 1 and 2 were rebuilt via remake (they already existed).
+    bool sawRemake1 = false;
+    for (const auto& e : amr.events) sawRemake1 = sawRemake1 || e == "remake1";
+    EXPECT_TRUE(sawRemake1);
+    // New grids cover the new tag location.
+    EXPECT_TRUE(amr.boxArray(1).contains(
+        Box(amr.tagCenter, amr.tagCenter).refine(amr.refRatio())));
+}
+
+TEST(AmrCore, RegridRemovesLevelsWhenTagsVanish) {
+    TestAmr amr(unitGeom(32), smallInfo());
+    amr.initGrids(0.0);
+    ASSERT_EQ(amr.finestLevel(), 2);
+    amr.tagRadius = 0;
+    amr.tagCenter = IntVect{-100, -100, -100}; // tags land outside: none kept
+    // errorEst still emits cells, but outside the domain; simulate "no
+    // tags" by radius trick: use a derived behaviour instead.
+    amr.events.clear();
+    amr.regrid(0, 0.0);
+    // With tags far outside, clustering still returns their bbox, but the
+    // domain clip empties it -> levels deleted.
+    EXPECT_EQ(amr.finestLevel(), 0);
+    bool sawClear = false;
+    for (const auto& e : amr.events) sawClear = sawClear || e == "clear1";
+    EXPECT_TRUE(sawClear);
+}
+
+TEST(AmrCore, RegridIsIdempotentWhenTagsUnchanged) {
+    TestAmr amr(unitGeom(32), smallInfo());
+    amr.initGrids(0.0);
+    const BoxArray b1 = amr.boxArray(1), b2 = amr.boxArray(2);
+    amr.events.clear();
+    amr.regrid(0, 0.0);
+    EXPECT_EQ(amr.boxArray(1), b1);
+    EXPECT_EQ(amr.boxArray(2), b2);
+    // No remakes should have fired (identical grids short-circuit).
+    for (const auto& e : amr.events) EXPECT_EQ(e.find("remake"), std::string::npos);
+}
+
+} // namespace
+} // namespace crocco::amr

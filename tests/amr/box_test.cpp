@@ -1,0 +1,164 @@
+#include "amr/Box.hpp"
+#include "amr/BoxList.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace crocco::amr {
+namespace {
+
+TEST(IntVect, Arithmetic) {
+    const IntVect a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, (IntVect{5, 7, 9}));
+    EXPECT_EQ(b - a, (IntVect{3, 3, 3}));
+    EXPECT_EQ(a * 2, (IntVect{2, 4, 6}));
+    EXPECT_EQ(a * b, (IntVect{4, 10, 18}));
+    EXPECT_EQ(-a, (IntVect{-1, -2, -3}));
+    EXPECT_EQ(IntVect::basis(1), (IntVect{0, 1, 0}));
+}
+
+TEST(IntVect, CoarsenRoundsTowardNegativeInfinity) {
+    EXPECT_EQ((IntVect{0, 1, 3}.coarsen(2)), (IntVect{0, 0, 1}));
+    EXPECT_EQ((IntVect{-1, -2, -3}.coarsen(2)), (IntVect{-1, -1, -2}));
+    EXPECT_EQ((IntVect{-4, 4, 7}.coarsen(4)), (IntVect{-1, 1, 1}));
+}
+
+TEST(IntVect, Comparisons) {
+    EXPECT_TRUE((IntVect{1, 2, 3}.allLE(IntVect{1, 2, 3})));
+    EXPECT_TRUE((IntVect{0, 2, 3}.allLE(IntVect{1, 2, 3})));
+    EXPECT_FALSE((IntVect{2, 2, 3}.allLE(IntVect{1, 9, 9})));
+    EXPECT_TRUE((IntVect{0, 0, 0}.allLT(IntVect{1, 1, 1})));
+    EXPECT_EQ((IntVect{3, 1, 2}.min()), 1);
+    EXPECT_EQ((IntVect{3, 1, 2}.max()), 3);
+    EXPECT_EQ((IntVect{3, 4, 5}.product()), 60);
+}
+
+TEST(Box, BasicQueries) {
+    const Box b(IntVect{0, 0, 0}, IntVect{7, 3, 1});
+    EXPECT_TRUE(b.ok());
+    EXPECT_EQ(b.length(0), 8);
+    EXPECT_EQ(b.length(1), 4);
+    EXPECT_EQ(b.length(2), 2);
+    EXPECT_EQ(b.numPts(), 64);
+    EXPECT_TRUE(b.contains(IntVect{7, 3, 1}));
+    EXPECT_FALSE(b.contains(IntVect{8, 0, 0}));
+    EXPECT_FALSE(Box().ok());
+    EXPECT_EQ(Box().numPts(), 0);
+}
+
+TEST(Box, Intersection) {
+    const Box a(IntVect{0, 0, 0}, IntVect{7, 7, 7});
+    const Box b(IntVect{4, 4, 4}, IntVect{11, 11, 11});
+    const Box i = a & b;
+    EXPECT_EQ(i, Box(IntVect{4, 4, 4}, IntVect{7, 7, 7}));
+    EXPECT_TRUE(a.intersects(b));
+    const Box c(IntVect{8, 0, 0}, IntVect{9, 7, 7});
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_FALSE((a & c).ok());
+}
+
+TEST(Box, GrowShiftChop) {
+    const Box b(IntVect{2, 2, 2}, IntVect{5, 5, 5});
+    EXPECT_EQ(b.grow(1), Box(IntVect{1, 1, 1}, IntVect{6, 6, 6}));
+    EXPECT_EQ(b.grow(0, 2).length(0), 8);
+    EXPECT_EQ(b.grow(0, 2).length(1), 4);
+    EXPECT_EQ(b.shift(2, 3), Box(IntVect{2, 2, 5}, IntVect{5, 5, 8}));
+    auto [l, r] = Box(IntVect{0, 0, 0}, IntVect{9, 3, 3}).chop();
+    EXPECT_EQ(l.bigEnd(0) + 1, r.smallEnd(0));
+    EXPECT_EQ(l.numPts() + r.numPts(), 160);
+}
+
+TEST(Box, CoarsenRefineRoundTrip) {
+    const Box b(IntVect{0, 8, 16}, IntVect{7, 15, 31});
+    EXPECT_TRUE(b.coarsenable(2));
+    EXPECT_TRUE(b.coarsenable(8));
+    EXPECT_EQ(b.coarsen(2).refine(2), b);
+    const Box odd(IntVect{1, 0, 0}, IntVect{8, 7, 7});
+    EXPECT_FALSE(odd.coarsenable(2));
+    // Coarsening always covers the original region.
+    EXPECT_TRUE(odd.coarsen(2).refine(2).contains(odd));
+}
+
+TEST(Box, IndexIsFortranOrder) {
+    const Box b(IntVect{1, 2, 3}, IntVect{4, 6, 8});
+    EXPECT_EQ(b.index(IntVect{1, 2, 3}), 0);
+    EXPECT_EQ(b.index(IntVect{2, 2, 3}), 1);
+    EXPECT_EQ(b.index(IntVect{1, 3, 3}), 4);           // +1 in j: stride nx
+    EXPECT_EQ(b.index(IntVect{1, 2, 4}), 4 * 5);       // +1 in k: stride nx*ny
+    EXPECT_EQ(b.index(b.bigEnd()), b.numPts() - 1);
+}
+
+TEST(Box, BboxUnion) {
+    const Box a(IntVect{0, 0, 0}, IntVect{1, 1, 1});
+    const Box b(IntVect{5, 5, 5}, IntVect{6, 6, 6});
+    EXPECT_EQ(Box::bboxUnion(a, b), Box(IntVect{0, 0, 0}, IntVect{6, 6, 6}));
+    EXPECT_EQ(Box::bboxUnion(Box(), a), a);
+}
+
+// ----------------------------------------------------------- boxDiff props
+
+class BoxDiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxDiffProperty, PiecesAreDisjointAndCoverExactly) {
+    std::mt19937 rng(GetParam());
+    std::uniform_int_distribution<int> d(-6, 6);
+    auto randBox = [&] {
+        IntVect lo{d(rng), d(rng), d(rng)};
+        IntVect hi = lo + IntVect{std::abs(d(rng)), std::abs(d(rng)), std::abs(d(rng))};
+        return Box(lo, hi);
+    };
+    const Box a = randBox(), b = randBox();
+    const auto pieces = boxDiff(a, b);
+    // Pieces are pairwise disjoint.
+    for (std::size_t i = 0; i < pieces.size(); ++i)
+        for (std::size_t j = i + 1; j < pieces.size(); ++j)
+            EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+    // Point counts match: |a| = |a & b| + |pieces|.
+    EXPECT_EQ(totalPts(pieces) + (a & b).numPts(), a.numPts());
+    // Each cell of a is in b xor in exactly one piece.
+    forEachCell(a, [&](int i, int j, int k) {
+        const IntVect p{i, j, k};
+        int cover = b.contains(p) ? 1 : 0;
+        for (const Box& piece : pieces) cover += piece.contains(p) ? 1 : 0;
+        EXPECT_EQ(cover, 1);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BoxDiffProperty, ::testing::Range(0, 25));
+
+TEST(BoxDiff, AgainstList) {
+    const Box a(IntVect{0, 0, 0}, IntVect{9, 9, 0});
+    std::vector<Box> covers{Box(IntVect{0, 0, 0}, IntVect{4, 9, 0}),
+                            Box(IntVect{5, 0, 0}, IntVect{9, 4, 0})};
+    const auto rest = boxDiff(a, covers);
+    EXPECT_EQ(totalPts(rest), 25);
+    EXPECT_FALSE(fullyCovered(a, covers));
+    covers.push_back(Box(IntVect{5, 5, 0}, IntVect{9, 9, 0}));
+    EXPECT_TRUE(fullyCovered(a, covers));
+}
+
+TEST(BoxList, ChopToMaxSize) {
+    const Box big(IntVect{0, 0, 0}, IntVect{99, 49, 9});
+    const auto pieces = chopToMaxSize({big}, IntVect{32, 32, 32});
+    EXPECT_EQ(totalPts(pieces), big.numPts());
+    for (const Box& p : pieces) {
+        EXPECT_LE(p.length(0), 32);
+        EXPECT_LE(p.length(1), 32);
+        EXPECT_LE(p.length(2), 32);
+    }
+    for (std::size_t i = 0; i < pieces.size(); ++i)
+        for (std::size_t j = i + 1; j < pieces.size(); ++j)
+            EXPECT_FALSE(pieces[i].intersects(pieces[j]));
+}
+
+TEST(BoxList, RefineToBlockingFactor) {
+    const Box b(IntVect{1, 9, 3}, IntVect{14, 17, 12});
+    const auto rounded = refineToBlockingFactor({b}, 8);
+    ASSERT_EQ(rounded.size(), 1u);
+    EXPECT_TRUE(rounded[0].contains(b));
+    EXPECT_TRUE(rounded[0].coarsenable(8));
+}
+
+} // namespace
+} // namespace crocco::amr

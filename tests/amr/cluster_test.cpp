@@ -1,0 +1,99 @@
+#include "amr/Cluster.hpp"
+#include "amr/BoxList.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+namespace crocco::amr {
+namespace {
+
+void expectCoversAllTags(const std::vector<IntVect>& tags,
+                         const std::vector<Box>& boxes) {
+    for (const IntVect& t : tags) {
+        bool covered = false;
+        for (const Box& b : boxes) covered = covered || b.contains(t);
+        EXPECT_TRUE(covered) << "tag " << t << " uncovered";
+    }
+}
+
+TEST(BergerRigoutsos, EmptyTagsGiveNoBoxes) {
+    EXPECT_TRUE(bergerRigoutsos({}).empty());
+}
+
+TEST(BergerRigoutsos, SingleTag) {
+    const auto boxes = bergerRigoutsos({IntVect{3, 4, 5}});
+    ASSERT_EQ(boxes.size(), 1u);
+    EXPECT_EQ(boxes[0], Box(IntVect{3, 4, 5}, IntVect{3, 4, 5}));
+}
+
+TEST(BergerRigoutsos, DenseBlockIsOneBox) {
+    std::vector<IntVect> tags;
+    forEachCell(Box(IntVect(2), IntVect(6)), [&](int i, int j, int k) {
+        tags.push_back({i, j, k});
+    });
+    const auto boxes = bergerRigoutsos(tags);
+    ASSERT_EQ(boxes.size(), 1u);
+    EXPECT_EQ(boxes[0], Box(IntVect(2), IntVect(6)));
+}
+
+TEST(BergerRigoutsos, SplitsAtHole) {
+    // Two well-separated clusters must become (at least) two boxes, split
+    // at the empty signature plane between them.
+    std::vector<IntVect> tags;
+    forEachCell(Box(IntVect{0, 0, 0}, IntVect{3, 3, 3}),
+                [&](int i, int j, int k) { tags.push_back({i, j, k}); });
+    forEachCell(Box(IntVect{20, 0, 0}, IntVect{23, 3, 3}),
+                [&](int i, int j, int k) { tags.push_back({i, j, k}); });
+    const auto boxes = bergerRigoutsos(tags);
+    EXPECT_GE(boxes.size(), 2u);
+    expectCoversAllTags(tags, boxes);
+    // Efficiency: no box should span the hole.
+    for (const Box& b : boxes) EXPECT_LT(b.length(0), 20);
+}
+
+class ClusterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterProperty, CoversTagsEfficientlyWithDisjointBoxes) {
+    std::mt19937 rng(GetParam());
+    std::uniform_int_distribution<int> d(0, 31);
+    std::unordered_set<IntVect> set;
+    // Random blob: a few clusters of random walks.
+    for (int c = 0; c < 3; ++c) {
+        IntVect p{d(rng), d(rng), d(rng)};
+        for (int s = 0; s < 60; ++s) {
+            set.insert(p);
+            const int dim = d(rng) % 3;
+            p[dim] = std::clamp(p[dim] + (d(rng) % 2 ? 1 : -1), 0, 31);
+        }
+    }
+    std::vector<IntVect> tags(set.begin(), set.end());
+    ClusterParams params;
+    const auto boxes = bergerRigoutsos(tags, params);
+    expectCoversAllTags(tags, boxes);
+    // Overall efficiency: tagged cells per covered cell is not terrible.
+    std::int64_t covered = 0;
+    for (const Box& b : boxes) covered += b.numPts();
+    EXPECT_GE(static_cast<double>(tags.size()) / covered, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ClusterProperty, ::testing::Range(0, 12));
+
+TEST(BufferTags, GrowsAndClips) {
+    const Box domain(IntVect::zero(), IntVect(9));
+    const auto buffered = bufferTags({IntVect{0, 5, 5}}, 2, domain);
+    // 3 (clipped x: -2..2 -> 0..2) x 5 x 5
+    EXPECT_EQ(buffered.size(), 75u);
+    for (const IntVect& t : buffered) EXPECT_TRUE(domain.contains(t));
+}
+
+TEST(BufferTags, DeduplicatesOverlap) {
+    const Box domain(IntVect::zero(), IntVect(9));
+    const auto buffered =
+        bufferTags({IntVect{4, 4, 4}, IntVect{5, 4, 4}}, 1, domain);
+    EXPECT_EQ(buffered.size(), 3u * 3 * 3 + 9); // 27 + extra slab of 9
+}
+
+} // namespace
+} // namespace crocco::amr

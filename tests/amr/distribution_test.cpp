@@ -1,0 +1,95 @@
+#include "amr/DistributionMapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crocco::amr {
+namespace {
+
+std::vector<Box> tiledBoxes(int n, int size) {
+    std::vector<Box> boxes;
+    for (int k = 0; k < n; ++k)
+        for (int j = 0; j < n; ++j)
+            for (int i = 0; i < n; ++i) {
+                const IntVect lo{i * size, j * size, k * size};
+                boxes.emplace_back(lo, lo + IntVect(size - 1));
+            }
+    return boxes;
+}
+
+class DistributionBalance
+    : public ::testing::TestWithParam<std::tuple<int, DistributionMapping::Strategy>> {
+};
+
+TEST_P(DistributionBalance, EveryRankUsedAndBalanced) {
+    const auto [nranks, strategy] = GetParam();
+    BoxArray ba(tiledBoxes(4, 8)); // 64 equal boxes
+    DistributionMapping dm(ba, nranks, strategy);
+    ASSERT_EQ(dm.size(), ba.size());
+    const auto pts = dm.pointsPerRank(ba);
+    for (int r = 0; r < nranks; ++r) EXPECT_GT(pts[r], 0) << "rank " << r;
+    // Equal boxes must balance to within one box.
+    EXPECT_LE(dm.imbalance(ba), 1.0 + static_cast<double>(nranks) / ba.size() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, DistributionBalance,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 64),
+                       ::testing::Values(DistributionMapping::Strategy::SFC,
+                                         DistributionMapping::Strategy::Knapsack,
+                                         DistributionMapping::Strategy::RoundRobin)));
+
+TEST(DistributionMapping, KnapsackHandlesUnequalBoxes) {
+    std::vector<Box> boxes;
+    // One giant box and many small ones.
+    boxes.emplace_back(IntVect::zero(), IntVect{31, 31, 31});
+    for (int i = 0; i < 16; ++i)
+        boxes.emplace_back(IntVect{32 + 4 * i, 0, 0}, IntVect{35 + 4 * i, 3, 3});
+    BoxArray ba(boxes);
+    DistributionMapping dm(ba, 4, DistributionMapping::Strategy::Knapsack);
+    // The giant box dominates; its rank should get nothing else big.
+    const auto pts = dm.pointsPerRank(ba);
+    const auto maxPts = *std::max_element(pts.begin(), pts.end());
+    EXPECT_EQ(maxPts, 32768); // giant box alone
+}
+
+TEST(DistributionMapping, SfcKeepsNeighborsTogether) {
+    // SFC assignment of a contiguous tile grid gives each rank a
+    // mostly-connected chunk: it must cut far fewer neighbor pairs than a
+    // locality-oblivious round-robin assignment. (For a 4x4x4 tile grid over
+    // 8 ranks the SFC chunks are exactly the 8 octants.)
+    BoxArray ba(tiledBoxes(4, 8));
+    auto cutEdges = [&](const DistributionMapping& dm) {
+        int cut = 0;
+        for (int i = 0; i < ba.size(); ++i) {
+            for (const auto& [j, isect] : ba.intersections(ba[i].grow(1))) {
+                if (j > i && dm[i] != dm[j]) ++cut;
+            }
+        }
+        return cut;
+    };
+    const int sfcCut =
+        cutEdges(DistributionMapping(ba, 8, DistributionMapping::Strategy::SFC));
+    const int rrCut = cutEdges(
+        DistributionMapping(ba, 8, DistributionMapping::Strategy::RoundRobin));
+    EXPECT_LT(sfcCut, rrCut * 2 / 3);
+}
+
+TEST(DistributionMapping, ExplicitOwners) {
+    BoxArray ba(tiledBoxes(2, 8));
+    std::vector<int> owners(8, 3);
+    DistributionMapping dm(owners, 5);
+    EXPECT_EQ(dm[0], 3);
+    EXPECT_EQ(dm.numRanks(), 5);
+    const auto pts = dm.pointsPerRank(ba);
+    EXPECT_EQ(pts[3], ba.numPts());
+    EXPECT_EQ(pts[0], 0);
+}
+
+TEST(DistributionMapping, Deterministic) {
+    BoxArray ba(tiledBoxes(3, 8));
+    DistributionMapping a(ba, 6), b(ba, 6);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace crocco::amr

@@ -1,0 +1,66 @@
+#include "amr/FArrayBox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crocco::amr {
+namespace {
+
+TEST(Array4, IndexingMatchesFortranLayout) {
+    const Box b(IntVect{1, 2, 3}, IntVect{4, 5, 6});
+    FArrayBox fab(b, 2);
+    auto a = fab.array();
+    a(1, 2, 3, 0) = 10.0;
+    a(2, 2, 3, 0) = 11.0;
+    a(1, 3, 3, 1) = 12.0;
+    EXPECT_EQ(fab(IntVect{1, 2, 3}, 0), 10.0);
+    EXPECT_EQ(fab(IntVect{2, 2, 3}, 0), 11.0);
+    EXPECT_EQ(fab(IntVect{1, 3, 3}, 1), 12.0);
+    // const view shares storage
+    auto c = fab.const_array();
+    EXPECT_EQ(c(2, 2, 3, 0), 11.0);
+}
+
+TEST(FArrayBox, SetValAndRegionSetVal) {
+    const Box b(IntVect::zero(), IntVect(3));
+    FArrayBox fab(b, 2, 1.0);
+    EXPECT_EQ(fab.sum(b, 0), 64.0);
+    fab.setVal(2.0);
+    EXPECT_EQ(fab.sum(b, 1), 128.0);
+    fab.setVal(5.0, Box(IntVect::zero(), IntVect(1)), 0, 1);
+    EXPECT_EQ(fab.sum(b, 0), 2.0 * (64 - 8) + 5.0 * 8);
+    EXPECT_EQ(fab.max(b, 0), 5.0);
+    EXPECT_EQ(fab.min(b, 0), 2.0);
+}
+
+TEST(FArrayBox, CopyFromWithShift) {
+    const Box src(IntVect::zero(), IntVect(3));
+    FArrayBox a(src, 1);
+    auto aa = a.array();
+    forEachCell(src, [&](int i, int j, int k) { aa(i, j, k, 0) = i + 10 * j + 100 * k; });
+    const Box dstBox(IntVect{10, 10, 10}, IntVect{13, 13, 13});
+    FArrayBox b(dstBox, 1);
+    // b(p) = a(p + shift), shift maps dst indices onto src.
+    b.copyFrom(a, dstBox, 0, 0, 1, IntVect{-10, -10, -10});
+    EXPECT_EQ(b(IntVect{10, 10, 10}), 0.0);
+    EXPECT_EQ(b(IntVect{13, 12, 11}), 3 + 20 + 100);
+}
+
+TEST(FArrayBox, Saxpy) {
+    const Box b(IntVect::zero(), IntVect(2));
+    FArrayBox x(b, 1, 2.0), y(b, 1, 3.0);
+    y.saxpy(0.5, x, b, 0, 0, 1);
+    EXPECT_DOUBLE_EQ(y(IntVect::zero()), 4.0);
+}
+
+TEST(FArrayBox, L2Diff) {
+    const Box b(IntVect::zero(), IntVect(3));
+    FArrayBox x(b, 1, 1.0), y(b, 1, 1.0);
+    EXPECT_EQ(FArrayBox::l2Diff(x, y, b, 0), 0.0);
+    y(IntVect{1, 1, 1}) = 4.0;
+    EXPECT_DOUBLE_EQ(FArrayBox::l2Diff(x, y, b, 0), 3.0);
+}
+
+} // namespace
+} // namespace crocco::amr

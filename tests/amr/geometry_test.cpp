@@ -1,0 +1,88 @@
+#include "amr/Geometry.hpp"
+#include "amr/MultiFab.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crocco::amr {
+namespace {
+
+TEST(Geometry, CellSizesAndCenters) {
+    Geometry g(Box(IntVect::zero(), IntVect{15, 7, 3}), {0, 0, 0}, {4, 1, 2});
+    EXPECT_DOUBLE_EQ(g.cellSize(0), 0.25);
+    EXPECT_DOUBLE_EQ(g.cellSize(1), 0.125);
+    EXPECT_DOUBLE_EQ(g.cellSize(2), 0.5);
+    EXPECT_DOUBLE_EQ(g.cellCenter(0, 0), 0.125);
+    EXPECT_DOUBLE_EQ(g.cellCenter(15, 0), 4.0 - 0.125);
+    // Ghost cells extend linearly.
+    EXPECT_DOUBLE_EQ(g.cellCenter(-1, 0), -0.125);
+}
+
+TEST(Geometry, RefineHalvesSpacingCoarsenRestores) {
+    Geometry g(Box(IntVect::zero(), IntVect(7)), {0, 0, 0}, {1, 1, 1});
+    const Geometry f = g.refine(IntVect(2));
+    EXPECT_EQ(f.domain().numPts(), 8 * g.domain().numPts());
+    EXPECT_DOUBLE_EQ(f.cellSize(0), g.cellSize(0) / 2);
+    const Geometry back = f.coarsen(IntVect(2));
+    EXPECT_EQ(back.domain(), g.domain());
+    EXPECT_DOUBLE_EQ(back.cellSize(1), g.cellSize(1));
+}
+
+TEST(Geometry, PeriodicShiftCounts) {
+    const Box d(IntVect::zero(), IntVect(7));
+    EXPECT_EQ(Geometry(d, {0, 0, 0}, {1, 1, 1}, Periodicity::none())
+                  .periodicShifts()
+                  .size(),
+              1u);
+    EXPECT_EQ(Geometry(d, {0, 0, 0}, {1, 1, 1}, Periodicity::all())
+                  .periodicShifts()
+                  .size(),
+              27u);
+    Periodicity onlyZ;
+    onlyZ.periodic[2] = true;
+    const auto shifts =
+        Geometry(d, {0, 0, 0}, {1, 1, 1}, onlyZ).periodicShifts();
+    EXPECT_EQ(shifts.size(), 3u);
+    for (const IntVect& s : shifts) {
+        EXPECT_EQ(s[0], 0);
+        EXPECT_EQ(s[1], 0);
+        EXPECT_TRUE(s[2] == -8 || s[2] == 0 || s[2] == 8);
+    }
+}
+
+TEST(MultiFab, ParallelCopyReadsSourceGhostsWhenAsked) {
+    // The coordinate-gather path: source ghost cells carry valid data that
+    // srcNGrow > 0 may read — dst regions beyond src valid cells get filled.
+    const Box domain(IntVect(4), IntVect(11));
+    BoxArray srcBa(domain);
+    DistributionMapping dm(srcBa, 1);
+    MultiFab src(srcBa, dm, 1, 3);
+    // Fill valid + ghosts with a globally consistent linear field.
+    auto s = src.array(0);
+    forEachCell(src.grownBox(0),
+                [&](int i, int j, int k) { s(i, j, k, 0) = i + 10 * j + 100 * k; });
+
+    BoxArray dstBa(Box(IntVect(2), IntVect(13))); // extends past src valid
+    MultiFab dst(dstBa, DistributionMapping(dstBa, 1), 1, 0);
+    dst.setVal(-1.0);
+    dst.parallelCopy(src, 0, 0, 1, 0, 0, "noghost");
+    auto a = dst.const_array(0);
+    EXPECT_EQ(a(2, 2, 2, 0), -1.0); // outside src valid: untouched
+
+    dst.parallelCopy(src, 0, 0, 1, 0, 3, "withghost");
+    EXPECT_DOUBLE_EQ(a(2, 2, 2, 0), 2 + 20 + 200); // filled from src ghost
+    EXPECT_DOUBLE_EQ(a(13, 13, 13, 0), 13 + 130 + 1300);
+}
+
+TEST(MultiFab, DefineResetsContents) {
+    BoxArray ba(Box(IntVect::zero(), IntVect(3)));
+    DistributionMapping dm(ba, 1);
+    MultiFab mf(ba, dm, 2, 1);
+    mf.setVal(5.0);
+    mf.define(ba, dm, 3, 2);
+    EXPECT_EQ(mf.nComp(), 3);
+    EXPECT_EQ(mf.nGrow(), 2);
+    EXPECT_EQ(mf.numFabs(), 1);
+}
+
+} // namespace
+} // namespace crocco::amr

@@ -1,0 +1,141 @@
+#include "chem/Reaction.hpp"
+#include "chem/Thermo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crocco::chem {
+namespace {
+
+TEST(ThermoTable, SingleGasMatchesGammaLaw) {
+    // The single-species table must reproduce the perfect-gas EOS used by
+    // the flow solver (gamma = 1.4, R = 287).
+    const ThermoTable air = ThermoTable::singleGas(1.4, 287.0);
+    const Real rho = 1.2;
+    const Real T = 300.0;
+    EXPECT_NEAR(air.pressure(&rho, T), rho * 287.0 * T, 1e-8);
+    EXPECT_NEAR(air.soundSpeed(&rho, T), std::sqrt(1.4 * 287.0 * T), 1e-8);
+    EXPECT_NEAR(air.mixtureCv(&rho), 287.0 / 0.4, 1e-8);
+    // Temperature round-trips through the internal energy.
+    const Real e = air.internalEnergy(&rho, T);
+    EXPECT_NEAR(air.temperature(&rho, e), T, 1e-9);
+}
+
+TEST(ThermoTable, MixtureRulesAreMassWeighted) {
+    const ThermoTable t = ThermoTable::hydrogenAir();
+    const int ns = t.nSpecies();
+    std::vector<Real> rhoS(static_cast<std::size_t>(ns), 0.0);
+    rhoS[static_cast<std::size_t>(t.indexOf("N2"))] = 0.7;
+    rhoS[static_cast<std::size_t>(t.indexOf("O2"))] = 0.3;
+    EXPECT_NEAR(t.mixtureDensity(rhoS.data()), 1.0, 1e-12);
+    const Real cvExpected = 0.7 * t.species(t.indexOf("N2")).cv +
+                            0.3 * t.species(t.indexOf("O2")).cv;
+    EXPECT_NEAR(t.mixtureCv(rhoS.data()), cvExpected, 1e-9);
+    // Light species raise the mixture gas constant dramatically.
+    std::vector<Real> withH2 = rhoS;
+    withH2[static_cast<std::size_t>(t.indexOf("H2"))] = 0.1;
+    EXPECT_GT(t.mixtureR(withH2.data()), t.mixtureR(rhoS.data()));
+}
+
+TEST(ThermoTable, TemperatureInversionWithFormationEnthalpy) {
+    const ThermoTable t = ThermoTable::hydrogenAir();
+    std::vector<Real> rhoS(static_cast<std::size_t>(t.nSpecies()), 0.0);
+    rhoS[static_cast<std::size_t>(t.indexOf("H2O"))] = 0.4; // negative h_f
+    rhoS[static_cast<std::size_t>(t.indexOf("N2"))] = 0.6;
+    for (Real T : {300.0, 1200.0, 2800.0}) {
+        const Real e = t.internalEnergy(rhoS.data(), T);
+        EXPECT_NEAR(t.temperature(rhoS.data(), e), T, 1e-8 * T);
+    }
+}
+
+TEST(ThermoTable, UnknownSpeciesThrows) {
+    const ThermoTable t = ThermoTable::hydrogenAir();
+    EXPECT_THROW(t.indexOf("Xe"), std::out_of_range);
+}
+
+struct ReactorFixture {
+    ReactionMechanism mech = ReactionMechanism::hydrogenOxygen();
+    std::vector<Real> rhoS;
+    Real T = 1400.0;
+
+    ReactorFixture() {
+        const auto& t = mech.thermo();
+        rhoS.assign(static_cast<std::size_t>(t.nSpecies()), 0.0);
+        // Stoichiometric H2/O2 diluted in N2 at ~1 atm equivalent.
+        rhoS[static_cast<std::size_t>(t.indexOf("H2"))] = 0.02;
+        rhoS[static_cast<std::size_t>(t.indexOf("O2"))] = 0.16;
+        rhoS[static_cast<std::size_t>(t.indexOf("N2"))] = 0.60;
+    }
+    Real total() const {
+        Real s = 0.0;
+        for (Real r : rhoS) s += r;
+        return s;
+    }
+};
+
+TEST(ReactionMechanism, ProductionRatesSumToZero) {
+    ReactorFixture f;
+    std::vector<Real> wdot(f.rhoS.size());
+    f.mech.productionRates(f.rhoS.data(), f.T, wdot.data());
+    Real sum = 0.0, mag = 0.0;
+    for (Real w : wdot) {
+        sum += w;
+        mag += std::abs(w);
+    }
+    ASSERT_GT(mag, 0.0) << "mixture should react at 1400 K";
+    EXPECT_LT(std::abs(sum), 1e-12 * mag); // exact elemental mass balance
+    // Reactants consumed, product formed.
+    const auto& t = f.mech.thermo();
+    EXPECT_LT(wdot[static_cast<std::size_t>(t.indexOf("H2"))], 0.0);
+    EXPECT_LT(wdot[static_cast<std::size_t>(t.indexOf("O2"))], 0.0);
+    EXPECT_GT(wdot[static_cast<std::size_t>(t.indexOf("H2O"))], 0.0);
+    EXPECT_EQ(wdot[static_cast<std::size_t>(t.indexOf("N2"))], 0.0); // inert
+}
+
+TEST(ReactionMechanism, ArrheniusRateGrowsWithTemperature) {
+    ReactorFixture f;
+    std::vector<Real> cold(f.rhoS.size()), hot(f.rhoS.size());
+    f.mech.productionRates(f.rhoS.data(), 900.0, cold.data());
+    f.mech.productionRates(f.rhoS.data(), 1800.0, hot.data());
+    const auto h2o = static_cast<std::size_t>(f.mech.thermo().indexOf("H2O"));
+    EXPECT_GT(hot[h2o], 10.0 * cold[h2o]);
+}
+
+TEST(ReactionMechanism, ConstantVolumeReactorConservesMassAndReleasesHeat) {
+    ReactorFixture f;
+    const Real mass0 = f.total();
+    const Real T0 = f.T;
+    const auto& t = f.mech.thermo();
+    const Real e0 = t.internalEnergy(f.rhoS.data(), f.T);
+    f.mech.advance(f.rhoS.data(), f.T, 5e-3);
+    EXPECT_NEAR(f.total(), mass0, 1e-10 * mass0);
+    // Exothermic: temperature rises; internal energy is invariant.
+    EXPECT_GT(f.T, T0 + 50.0);
+    EXPECT_NEAR(t.internalEnergy(f.rhoS.data(), f.T), e0, 1e-6 * std::abs(e0));
+    for (Real r : f.rhoS) EXPECT_GE(r, 0.0);
+}
+
+TEST(ReactionMechanism, BurnsToCompletionOfDeficientReactant) {
+    ReactorFixture f;
+    f.T = 2000.0; // fast kinetics
+    f.mech.advance(f.rhoS.data(), f.T, 1.0);
+    const auto& t = f.mech.thermo();
+    // H2 is the deficient reactant here (0.02 kg vs 0.16 kg O2 at 1:8 mass
+    // stoichiometry): it must be (nearly) exhausted. The bimolecular rate
+    // decays algebraically near completion, so "nearly" means < 5%.
+    EXPECT_LT(f.rhoS[static_cast<std::size_t>(t.indexOf("H2"))], 1e-3);
+    EXPECT_GT(f.rhoS[static_cast<std::size_t>(t.indexOf("H2O"))], 0.015);
+}
+
+TEST(ReactionMechanism, ColdMixtureIsFrozen) {
+    ReactorFixture f;
+    f.T = 300.0;
+    const auto before = f.rhoS;
+    f.mech.advance(f.rhoS.data(), f.T, 1e-3);
+    for (std::size_t s = 0; s < before.size(); ++s)
+        EXPECT_NEAR(f.rhoS[s], before[s], 1e-9);
+}
+
+} // namespace
+} // namespace crocco::chem

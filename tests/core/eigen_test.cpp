@@ -1,0 +1,126 @@
+#include "core/Eigen.hpp"
+
+#include "problems/Canonical.hpp"
+#include "problems/Dmr.hpp"
+#include "problems/Riemann.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace crocco::core {
+namespace {
+
+class EigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenProperty, RightTimesLeftIsIdentity) {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    GasModel gas;
+    for (int t = 0; t < 50; ++t) {
+        const Real rho = 0.2 + 2.0 * std::abs(d(rng));
+        const Real p = 0.1 + 5.0 * std::abs(d(rng));
+        const Prim q{rho, 3 * d(rng), 3 * d(rng), 3 * d(rng), p,
+                     gas.soundSpeed(rho, p)};
+        Real kdir[3] = {d(rng), d(rng), d(rng)};
+        if (std::abs(kdir[0]) + std::abs(kdir[1]) + std::abs(kdir[2]) < 0.1)
+            kdir[0] = 1.0;
+        const EigenSystem es = eulerEigenvectors(q, kdir, gas);
+        for (int r = 0; r < NCONS; ++r) {
+            for (int c = 0; c < NCONS; ++c) {
+                Real sum = 0.0;
+                for (int m = 0; m < NCONS; ++m) sum += es.R[r][m] * es.L[m][c];
+                EXPECT_NEAR(sum, r == c ? 1.0 : 0.0, 1e-10)
+                    << "R*L[" << r << "][" << c << "] seed " << GetParam();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenProperty, ::testing::Range(0, 8));
+
+TEST(EigenSystem, AxisAlignedDirectionsWork) {
+    // Degenerate orientations (pure x, y, z and diagonals) must all produce
+    // valid triads — the classic failure mode of naive tangent choices.
+    GasModel gas;
+    const Prim q{1.0, 0.3, -0.2, 0.1, 1.0, gas.soundSpeed(1.0, 1.0)};
+    const Real dirs[][3] = {{1, 0, 0}, {0, 1, 0},  {0, 0, 1},
+                            {1, 1, 1}, {0, 1, -1}, {-1, 0, 0}};
+    for (const auto& kdir : dirs) {
+        const EigenSystem es = eulerEigenvectors(q, kdir, gas);
+        Real offDiag = 0.0;
+        for (int r = 0; r < NCONS; ++r)
+            for (int c = 0; c < NCONS; ++c) {
+                Real sum = 0.0;
+                for (int m = 0; m < NCONS; ++m) sum += es.R[r][m] * es.L[m][c];
+                offDiag = std::max(offDiag, std::abs(sum - (r == c ? 1.0 : 0.0)));
+            }
+        EXPECT_LT(offDiag, 1e-10);
+    }
+}
+
+TEST(CharacteristicWeno, MatchesComponentWiseOnSmoothFlow) {
+    // Both reconstructions converge to the same PDE: on a smooth flow the
+    // RHS difference is truncation-small.
+    problems::IsentropicVortex v(24);
+    auto run = [&](Reconstruction recon) {
+        auto cfg = v.solverConfig();
+        cfg.recon = recon;
+        auto s = std::make_unique<CroccoAmr>(v.geometry(), cfg, v.mapping());
+        s->init(v.initialCondition(), nullptr);
+        s->evolve(4);
+        return s;
+    };
+    auto comp = run(Reconstruction::ComponentWise);
+    auto chr = run(Reconstruction::CharacteristicWise);
+    const Real norm = comp->state(0).norm2(URHO);
+    const Real diff =
+        amr::MultiFab::l2Diff(comp->state(0), chr->state(0), URHO);
+    EXPECT_LT(diff / norm, 2e-3);
+}
+
+TEST(CharacteristicWeno, SodStaysNonOscillatoryAndAccurate) {
+    // Both reconstructions must be essentially oscillation-free on Sod (the
+    // SYMBO limiter already suppresses component-wise ringing at this shock
+    // strength; the characteristic projection's payoff shows at Mach-10
+    // strength, covered by DmrRunsStably below). Check bounds and accuracy.
+    auto run = [&](Reconstruction recon) {
+        problems::SodTube sod(64);
+        auto cfg = sod.solverConfig(false);
+        cfg.recon = recon;
+        auto solver = std::make_unique<CroccoAmr>(sod.geometry(), cfg,
+                                                  sod.mapping());
+        solver->init(sod.initialCondition(), sod.boundaryConditions());
+        while (solver->time() < 0.12) solver->step();
+        return solver;
+    };
+    auto chr = run(Reconstruction::CharacteristicWise);
+    const Real over = std::max(0.0, chr->state(0).max(URHO) - 1.0);
+    const Real under = std::max(0.0, 0.125 - chr->state(0).min(URHO));
+    EXPECT_LT(over + under, 1e-3); // essentially oscillation-free
+    // And the two reconstructions land on (nearly) the same solution.
+    auto comp = run(Reconstruction::ComponentWise);
+    const Real diff =
+        amr::MultiFab::l2Diff(comp->state(0), chr->state(0), URHO);
+    EXPECT_LT(diff / comp->state(0).norm2(URHO), 0.01);
+}
+
+TEST(CharacteristicWeno, DmrRunsStably) {
+    problems::Dmr::Options o;
+    o.nx = 64;
+    o.ny = 16;
+    o.nz = 8;
+    o.maxLevel = 1;
+    problems::Dmr dmr(o);
+    auto cfg = dmr.solverConfig(CodeVersion::V20);
+    cfg.recon = Reconstruction::CharacteristicWise;
+    CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping());
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+    solver.evolve(5);
+    EXPECT_GT(solver.state(0).min(URHO), 0.5);
+    EXPECT_LT(solver.state(0).max(URHO), 40.0);
+}
+
+} // namespace
+} // namespace crocco::core

@@ -1,0 +1,116 @@
+#include "amr/MFIter.hpp"
+#include "core/Rans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crocco {
+namespace {
+
+using amr::Box;
+using amr::BoxArray;
+using amr::DistributionMapping;
+using amr::IntVect;
+using amr::MFIter;
+using amr::MultiFab;
+
+// ------------------------------------------------------------------ RANS
+
+TEST(RansModel, InactiveWithoutLengthCap) {
+    core::RansModel rans;
+    EXPECT_FALSE(rans.active());
+    const double g[3][3] = {{0, 5, 0}, {0, 0, 0}, {0, 0, 0}};
+    EXPECT_EQ(rans.eddyViscosity(g, 1.0, 0.1), 0.0);
+}
+
+TEST(RansModel, ZeroForUniformFlowAndAtTheWall) {
+    core::RansModel rans{0.41, 0.1, 0.9};
+    const double none[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    EXPECT_EQ(rans.eddyViscosity(none, 1.0, 0.05), 0.0);
+    const double shear[3][3] = {{0, 5, 0}, {0, 0, 0}, {0, 0, 0}};
+    EXPECT_EQ(rans.eddyViscosity(shear, 1.0, 0.0), 0.0); // l_mix -> 0 at wall
+}
+
+TEST(RansModel, MixingLengthGrowsThenCaps) {
+    core::RansModel rans{0.41, 0.05, 0.9};
+    const double shear[3][3] = {{0, 2, 0}, {0, 0, 0}, {0, 0, 0}};
+    const double nearWall = rans.eddyViscosity(shear, 1.0, 0.01);
+    // The cap engages at d = lMax / kappa = 0.122: beyond it mu_t saturates.
+    const double capped = rans.eddyViscosity(shear, 1.0, 0.2);
+    const double farField = rans.eddyViscosity(shear, 1.0, 10.0);
+    EXPECT_LT(nearWall, capped);
+    EXPECT_DOUBLE_EQ(capped, farField);
+    EXPECT_NEAR(farField, 1.0 * 0.05 * 0.05 * 2.0, 1e-12);
+}
+
+TEST(RansModel, LogLayerGivesLinearEddyViscosity) {
+    // In a log layer u(y) = (u_tau/kappa) ln(y/y0): du/dy = u_tau/(kappa y),
+    // so mu_t = rho (kappa y)^2 |du/dy| = rho kappa u_tau y — linear in y.
+    core::RansModel rans{0.41, 1e9, 0.9}; // cap far away
+    const double uTau = 0.3, rho = 1.2;
+    auto muT = [&](double y) {
+        const double dudy = uTau / (rans.kappa * y);
+        const double g[3][3] = {{0, dudy, 0}, {0, 0, 0}, {0, 0, 0}};
+        return rans.eddyViscosity(g, rho, y);
+    };
+    for (double y : {0.01, 0.05, 0.2}) {
+        EXPECT_NEAR(muT(y), rho * rans.kappa * uTau * y, 1e-10);
+    }
+    EXPECT_NEAR(muT(0.2) / muT(0.1), 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- MFIter
+
+struct MFIterFixture : ::testing::Test {
+    BoxArray ba;
+    MultiFab mf;
+    MFIterFixture() {
+        std::vector<Box> boxes;
+        for (int i = 0; i < 4; ++i)
+            boxes.emplace_back(IntVect{8 * i, 0, 0}, IntVect{8 * i + 7, 7, 7});
+        ba = BoxArray(boxes);
+        mf.define(ba, DistributionMapping({0, 1, 0, 1}, 2), 1, 2);
+        for (int f = 0; f < mf.numFabs(); ++f)
+            mf.fab(f).setVal(static_cast<double>(f), mf.fab(f).box(), 0, 1);
+    }
+};
+
+TEST_F(MFIterFixture, VisitsEveryFabInOrder) {
+    int count = 0;
+    for (MFIter mfi(mf); mfi.isValid(); ++mfi) {
+        EXPECT_EQ(mfi.index(), count);
+        EXPECT_EQ(mfi.validBox(), ba[count]);
+        EXPECT_EQ(mfi.grownBox(), ba[count].grow(2));
+        ++count;
+    }
+    EXPECT_EQ(count, 4);
+}
+
+TEST_F(MFIterFixture, RankRestrictedViewMatchesOwnership) {
+    std::vector<int> seen;
+    for (MFIter mfi(mf, 1); mfi.isValid(); ++mfi) {
+        EXPECT_EQ(mfi.owner(), 1);
+        seen.push_back(mfi.index());
+    }
+    EXPECT_EQ(seen, (std::vector<int>{1, 3}));
+    // A rank with no fabs iterates zero times.
+    int none = 0;
+    for (MFIter mfi(mf, 7); mfi.isValid(); ++mfi) ++none;
+    EXPECT_EQ(none, 0);
+}
+
+TEST_F(MFIterFixture, DrivesKernelLoopsLikeAmrex) {
+    // The canonical usage pattern: accumulate a reduction over valid cells.
+    double total = 0.0;
+    for (MFIter mfi(mf); mfi.isValid(); ++mfi) {
+        auto a = mf.const_array(mfi.index());
+        amr::forEachCell(mfi.validBox(), [&](int i, int j, int k) {
+            total += a(i, j, k, 0);
+        });
+    }
+    EXPECT_DOUBLE_EQ(total, (0 + 1 + 2 + 3) * 512.0);
+}
+
+} // namespace
+} // namespace crocco

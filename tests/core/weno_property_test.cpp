@@ -1,0 +1,95 @@
+#include "core/Weno.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace crocco::core {
+namespace {
+
+/// Property sweeps over both WENO schemes and random stencil data: the
+/// invariants every WENO reconstruction must satisfy regardless of weights.
+class WenoProperties
+    : public ::testing::TestWithParam<std::tuple<WenoScheme, int>> {
+protected:
+    WenoScheme scheme() const { return std::get<0>(GetParam()); }
+    std::mt19937 rng{static_cast<unsigned>(std::get<1>(GetParam()))};
+
+    void randomWindow(Real f[6], double scale = 1.0) {
+        std::uniform_real_distribution<double> d(-scale, scale);
+        for (int i = 0; i < 6; ++i) f[i] = d(rng);
+    }
+};
+
+TEST_P(WenoProperties, TranslationEquivariance) {
+    // R(f + c) = R(f) + c: adding a constant shifts every candidate
+    // reconstruction by c and leaves smoothness indicators unchanged.
+    Real f[6], g[6];
+    for (int trial = 0; trial < 40; ++trial) {
+        randomWindow(f);
+        const Real c = 3.7;
+        for (int i = 0; i < 6; ++i) g[i] = f[i] + c;
+        EXPECT_NEAR(wenoReconstruct(g, scheme()), wenoReconstruct(f, scheme()) + c,
+                    1e-10);
+    }
+}
+
+TEST_P(WenoProperties, ApproximateScaleEquivariance) {
+    // R(c f) = c R(f) up to the epsilon regularization in the weights.
+    Real f[6], g[6];
+    for (int trial = 0; trial < 40; ++trial) {
+        randomWindow(f, 2.0);
+        const Real c = 5.0;
+        for (int i = 0; i < 6; ++i) g[i] = c * f[i];
+        const Real rf = wenoReconstruct(f, scheme());
+        const Real rg = wenoReconstruct(g, scheme());
+        EXPECT_NEAR(rg, c * rf, 5e-2 * std::abs(c) + 1e-12)
+            << "trial " << trial;
+    }
+}
+
+TEST_P(WenoProperties, BoundedByCandidateHull) {
+    // The reconstruction is a convex combination of the candidate
+    // reconstructions, so it lies in their hull.
+    Real f[6];
+    for (int trial = 0; trial < 60; ++trial) {
+        randomWindow(f, 4.0);
+        const Real q0 = (2 * f[0] - 7 * f[1] + 11 * f[2]) / 6;
+        const Real q1 = (-f[1] + 5 * f[2] + 2 * f[3]) / 6;
+        const Real q2 = (2 * f[2] + 5 * f[3] - f[4]) / 6;
+        const Real q3 = (11 * f[3] - 7 * f[4] + 2 * f[5]) / 6;
+        Real lo = std::min({q0, q1, q2}), hi = std::max({q0, q1, q2});
+        if (scheme() == WenoScheme::Symbo) {
+            lo = std::min(lo, q3);
+            hi = std::max(hi, q3);
+        }
+        const Real r = wenoReconstruct(f, scheme());
+        EXPECT_GE(r, lo - 1e-10);
+        EXPECT_LE(r, hi + 1e-10);
+    }
+}
+
+TEST_P(WenoProperties, MonotoneDataStaysWithinRange) {
+    // On monotone data, the candidate hull can exceed the data range, but
+    // the weighted reconstruction must stay within a modest margin of it
+    // (the practical ENO property).
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    for (int trial = 0; trial < 40; ++trial) {
+        Real f[6];
+        f[0] = d(rng);
+        for (int i = 1; i < 6; ++i) f[i] = f[i - 1] + d(rng);
+        const Real r = wenoReconstruct(f, scheme());
+        const Real range = f[5] - f[0];
+        EXPECT_GE(r, f[0] - 0.25 * range);
+        EXPECT_LE(r, f[5] + 0.25 * range);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, WenoProperties,
+    ::testing::Combine(::testing::Values(WenoScheme::JS5, WenoScheme::Symbo),
+                       ::testing::Range(0, 5)));
+
+} // namespace
+} // namespace crocco::core

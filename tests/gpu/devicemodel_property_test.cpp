@@ -1,0 +1,81 @@
+#include "gpu/DeviceModel.hpp"
+
+#include "core/KernelProfiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crocco::gpu {
+namespace {
+
+const KernelProfile* profileFor(int idx) {
+    switch (idx) {
+        case 0: return &core::wenoKernelProfile();
+        case 1: return &core::viscousKernelProfile();
+        case 2: return &core::computeDtProfile();
+        case 3: return &core::updateKernelProfile();
+        default: return &core::interpKernelProfile();
+    }
+}
+
+class DeviceModelProperty : public ::testing::TestWithParam<int> {
+protected:
+    const KernelProfile& k = *profileFor(GetParam());
+};
+
+TEST_P(DeviceModelProperty, TimeIsMonotoneInProblemSize) {
+    V100Model v100;
+    double prev = 0.0;
+    for (std::int64_t n : {1000, 10'000, 100'000, 1'000'000, 10'000'000}) {
+        const double t = v100.kernelTime(k, n);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST_P(DeviceModelProperty, AchievedRateRespectsCeilings) {
+    V100Model v100;
+    const std::int64_t n = 5'000'000; // saturated
+    const double achieved = v100.achievedFlops(k, n);
+    // Never above the occupancy-limited compute peak...
+    EXPECT_LE(achieved, v100.peakFlops * v100.occupancy(k) * 1.0001);
+    // ...nor above any bandwidth ceiling.
+    EXPECT_LE(achieved, k.aiDram() * v100.bwDram * 1.0001);
+    EXPECT_LE(achieved, k.aiL2() * v100.bwL2 * 1.0001);
+    EXPECT_LE(achieved, k.aiL1() * v100.bwL1 * 1.0001);
+    EXPECT_GT(achieved, 0.0);
+}
+
+TEST_P(DeviceModelProperty, TinyKernelsPayFixedLatency) {
+    // A 1-point kernel costs at least the launch overhead and at most a
+    // fixed latency floor (~100s of microseconds: launch + unsaturated
+    // pipeline), never scaling with the per-point work.
+    V100Model v100;
+    const double t1 = v100.kernelTime(k, 1);
+    EXPECT_GE(t1, v100.launchOverhead);
+    EXPECT_LT(t1, 5e-4);
+}
+
+TEST_P(DeviceModelProperty, OccupancyInPhysicalRange) {
+    V100Model v100;
+    const double occ = v100.occupancy(k);
+    EXPECT_GE(occ, 1.0 / 64.0);
+    EXPECT_LE(occ, 1.0);
+    // Register pressure reduces occupancy relative to a light kernel.
+    KernelProfile light = k;
+    light.registersPerThread = 32;
+    EXPECT_GE(v100.occupancy(light), occ);
+}
+
+TEST_P(DeviceModelProperty, CpuModelScalesLinearly) {
+    P9SocketModel p9;
+    const double t1 = p9.kernelTime(k, 1'000'000, false);
+    const double t4 = p9.kernelTime(k, 4'000'000, false);
+    EXPECT_NEAR(t4 / t1, 4.0, 1e-9);
+    EXPECT_NEAR(p9.kernelTime(k, 1'000'000, true) / t1, p9.cppSlowdown, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernelProfiles, DeviceModelProperty,
+                         ::testing::Range(0, 5));
+
+} // namespace
+} // namespace crocco::gpu

@@ -1,0 +1,131 @@
+#include "io/ParmParse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace crocco::io {
+namespace {
+
+TEST(ParmParse, ParsesTypedValuesAndComments) {
+    ParmParse pp;
+    pp.parseText(R"(
+# CRoCCo input deck
+amr.max_level = 2          # three levels total
+crocco.cfl = 0.45
+run.name = dmr_summit
+run.enabled = true
+geom.prob_hi = 4.0 1.0 2.0
+)");
+    EXPECT_EQ(pp.getInt("amr.max_level"), 2);
+    EXPECT_DOUBLE_EQ(pp.getDouble("crocco.cfl"), 0.45);
+    EXPECT_EQ(pp.getString("run.name"), "dmr_summit");
+    bool b = false;
+    EXPECT_TRUE(pp.query("run.enabled", b));
+    EXPECT_TRUE(b);
+    std::vector<double> hi;
+    EXPECT_TRUE(pp.queryArr("geom.prob_hi", hi));
+    ASSERT_EQ(hi.size(), 3u);
+    EXPECT_DOUBLE_EQ(hi[1], 1.0);
+}
+
+TEST(ParmParse, QueryLeavesDefaultWhenAbsentGetThrows) {
+    ParmParse pp;
+    pp.parseText("a.b = 1\n");
+    int v = 42;
+    EXPECT_FALSE(pp.query("missing", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_THROW(pp.getInt("missing"), std::runtime_error);
+    EXPECT_TRUE(pp.contains("a.b"));
+    EXPECT_FALSE(pp.contains("missing"));
+}
+
+TEST(ParmParse, LaterDefinitionsOverride) {
+    ParmParse pp;
+    pp.parseText("x = 1\n");
+    const char* argv[] = {"x=2"};
+    pp.parseArgs(1, argv);
+    EXPECT_EQ(pp.getInt("x"), 2);
+}
+
+TEST(ParmParse, RejectsMalformedLines) {
+    ParmParse pp;
+    EXPECT_THROW(pp.parseText("no equals sign here\n"), std::runtime_error);
+    EXPECT_THROW(pp.parseText("= 3\n"), std::runtime_error);
+    EXPECT_THROW(pp.parseText("key =\n"), std::runtime_error);
+}
+
+TEST(ParmParse, TracksUnusedKeys) {
+    ParmParse pp;
+    pp.parseText("used.key = 1\ntypo.key = 2\n");
+    int v;
+    pp.query("used.key", v);
+    const auto unused = pp.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo.key");
+}
+
+TEST(ParmParse, FileRoundTrip) {
+    const char* path = "/tmp/crocco_deck_test.inputs";
+    std::ofstream(path) << "amr.blocking_factor = 8\n";
+    ParmParse pp;
+    pp.parseFile(path);
+    EXPECT_EQ(pp.getInt("amr.blocking_factor"), 8);
+    EXPECT_THROW(ParmParse().parseFile("/tmp/nope.inputs"), std::runtime_error);
+    std::remove(path);
+}
+
+TEST(ParmParse, MakeConfigAppliesPaperDeckKeys) {
+    // The paper's configuration (§III-B/V-C): blocking factor 8, max grid
+    // 128, 3 levels, curvilinear interpolation, WENO-SYMBO.
+    ParmParse pp;
+    pp.parseText(R"(
+amr.max_level = 2
+amr.blocking_factor = 8
+amr.max_grid_size = 128
+amr.ref_ratio = 2
+amr.regrid_int = 10
+crocco.cfl = 0.5
+crocco.weno_scheme = symbo
+crocco.reconstruction = characteristic
+crocco.interp = curvilinear
+crocco.tagging = density
+crocco.tag_threshold = 0.3
+crocco.les_cs = 0.17
+gas.gamma = 1.4
+)");
+    const auto cfg = pp.makeConfig();
+    EXPECT_EQ(cfg.amrInfo.maxLevel, 2);
+    EXPECT_EQ(cfg.amrInfo.blockingFactor, 8);
+    EXPECT_EQ(cfg.amrInfo.maxGridSize, 128);
+    EXPECT_EQ(cfg.amrInfo.refRatio, amr::IntVect(2));
+    EXPECT_EQ(cfg.regridFreq, 10);
+    EXPECT_DOUBLE_EQ(cfg.cfl, 0.5);
+    EXPECT_EQ(cfg.scheme, core::WenoScheme::Symbo);
+    EXPECT_EQ(cfg.recon, core::Reconstruction::CharacteristicWise);
+    EXPECT_EQ(cfg.interp, core::InterpChoice::Curvilinear);
+    EXPECT_EQ(cfg.tagging.criterion, core::TagCriterion::DensityGradient);
+    EXPECT_DOUBLE_EQ(cfg.tagging.threshold, 0.3);
+    EXPECT_DOUBLE_EQ(cfg.sgs.cs, 0.17);
+    EXPECT_TRUE(pp.unusedKeys().empty());
+}
+
+TEST(ParmParse, MakeConfigRejectsUnknownEnumValues) {
+    ParmParse pp;
+    pp.parseText("crocco.weno_scheme = weno9\n");
+    EXPECT_THROW(pp.makeConfig(), std::runtime_error);
+}
+
+TEST(ParmParse, MakeConfigKeepsDefaultsForUnsetKeys) {
+    ParmParse pp;
+    pp.parseText("crocco.cfl = 0.3\n");
+    core::CroccoAmr::Config defaults;
+    defaults.amrInfo.maxLevel = 1;
+    const auto cfg = pp.makeConfig(defaults);
+    EXPECT_EQ(cfg.amrInfo.maxLevel, 1);
+    EXPECT_DOUBLE_EQ(cfg.cfl, 0.3);
+}
+
+} // namespace
+} // namespace crocco::io

@@ -1,0 +1,96 @@
+#include "mesh/Mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crocco::mesh {
+namespace {
+
+constexpr std::array<Real, 3> kLo{0.0, 0.0, 0.0};
+constexpr std::array<Real, 3> kHi{4.0, 1.0, 2.0};
+
+TEST(UniformMapping, IsAffine) {
+    UniformMapping m(kLo, kHi);
+    const auto p = m.toPhysical(0.5, 0.25, 1.0);
+    EXPECT_DOUBLE_EQ(p[0], 2.0);
+    EXPECT_DOUBLE_EQ(p[1], 0.25);
+    EXPECT_DOUBLE_EQ(p[2], 2.0);
+    // Extends linearly beyond [0,1] (ghost coordinates).
+    EXPECT_DOUBLE_EQ(m.toPhysical(-0.25, 0, 0)[0], -1.0);
+}
+
+TEST(StretchedMapping, ClustersTowardWall) {
+    StretchedMapping m(kLo, kHi, 1, 2.5);
+    // Monotone, endpoint-preserving, and denser near eta = 0.
+    EXPECT_NEAR(m.toPhysical(0, 0, 0)[1], 0.0, 1e-14);
+    EXPECT_NEAR(m.toPhysical(0, 1, 0)[1], 1.0, 1e-14);
+    const Real dyNear = m.toPhysical(0, 0.1, 0)[1] - m.toPhysical(0, 0.0, 0)[1];
+    const Real dyFar = m.toPhysical(0, 1.0, 0)[1] - m.toPhysical(0, 0.9, 0)[1];
+    EXPECT_LT(dyNear, dyFar);
+    Real prev = -1.0;
+    for (int i = 0; i <= 20; ++i) {
+        const Real y = m.toPhysical(0, i / 20.0, 0)[1];
+        EXPECT_GT(y, prev);
+        prev = y;
+    }
+}
+
+TEST(RampMapping, WallRisesAfterCorner) {
+    RampMapping m(kLo, kHi, 30.0, 0.25);
+    // Before the corner the wall is flat.
+    EXPECT_NEAR(m.toPhysical(0.1, 0, 0)[1], 0.0, 1e-12);
+    // Well past the corner the wall follows the 30-degree ramp.
+    const auto a = m.toPhysical(0.6, 0, 0);
+    const auto b = m.toPhysical(0.9, 0, 0);
+    const Real slope = (b[1] - a[1]) / (b[0] - a[0]);
+    EXPECT_NEAR(slope, std::tan(30.0 * M_PI / 180.0), 1e-9);
+    // Upper boundary stays straight.
+    EXPECT_NEAR(m.toPhysical(0.9, 1, 0)[1], 1.0, 1e-12);
+}
+
+TEST(InteriorWavyMapping, FacesStayPlanar) {
+    InteriorWavyMapping m(kLo, kHi, 0.05);
+    for (double a = 0.0; a <= 1.0; a += 0.25) {
+        for (double b = 0.0; b <= 1.0; b += 0.25) {
+            EXPECT_NEAR(m.toPhysical(0.0, a, b)[0], 0.0, 1e-12);
+            EXPECT_NEAR(m.toPhysical(1.0, a, b)[0], 4.0, 1e-12);
+            EXPECT_NEAR(m.toPhysical(a, 0.0, b)[1], 0.0, 1e-12);
+            EXPECT_NEAR(m.toPhysical(a, 1.0, b)[1], 1.0, 1e-12);
+            EXPECT_NEAR(m.toPhysical(a, b, 0.0)[2], 0.0, 1e-12);
+            EXPECT_NEAR(m.toPhysical(a, b, 1.0)[2], 2.0, 1e-12);
+        }
+    }
+}
+
+TEST(InteriorWavyMapping, InteriorIsActuallyCurved) {
+    InteriorWavyMapping m(kLo, kHi, 0.05);
+    const auto p = m.toPhysical(0.5, 0.5, 0.5);
+    EXPECT_GT(std::abs(p[0] - 2.0), 0.01);
+    // Grid lines are non-orthogonal: x varies along eta.
+    EXPECT_GT(std::abs(m.toPhysical(0.5, 0.25, 0.5)[0] -
+                       m.toPhysical(0.5, 0.5, 0.5)[0]),
+              0.01);
+}
+
+TEST(InteriorWavyMapping, MirrorSymmetricAboutWall) {
+    // Required by the index-mirror wall BC: ghost eta = -t maps to the
+    // mirror image of eta = +t in x, and to -y in wall distance.
+    InteriorWavyMapping m(kLo, kHi, 0.05);
+    const auto in = m.toPhysical(0.3, 0.1, 0.7);
+    const auto out = m.toPhysical(0.3, -0.1, 0.7);
+    EXPECT_NEAR(in[0], out[0], 1e-12);
+    EXPECT_NEAR(in[1], -out[1], 1e-12);
+}
+
+TEST(WavyMapping, PeriodicCompatibleInZ) {
+    WavyMapping m(kLo, kHi, 0.03);
+    const auto a = m.toPhysical(0.3, 0.4, 0.2);
+    const auto b = m.toPhysical(0.3, 0.4, 1.2);
+    EXPECT_NEAR(b[0], a[0], 1e-12);
+    EXPECT_NEAR(b[1], a[1], 1e-12);
+    EXPECT_NEAR(b[2], a[2] + 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace crocco::mesh

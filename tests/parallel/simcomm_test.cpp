@@ -1,0 +1,56 @@
+#include "parallel/SimComm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crocco::parallel {
+namespace {
+
+TEST(SimComm, ReductionsReturnExactResults) {
+    SimComm comm(4);
+    EXPECT_DOUBLE_EQ(comm.reduceRealMin({3.0, 1.0, 2.0, 9.0}, "t"), 1.0);
+    EXPECT_DOUBLE_EQ(comm.reduceRealMax({3.0, 1.0, 2.0, 9.0}, "t"), 9.0);
+    EXPECT_DOUBLE_EQ(comm.reduceRealSum({1.0, 2.0, 3.0, 4.0}, "t"), 10.0);
+}
+
+TEST(SimComm, ReductionLogsTreeTraffic) {
+    SimComm comm(8);
+    comm.reduceRealMin(std::vector<double>(8, 1.0), "dt");
+    // A binomial reduction over P ranks moves P-1 payloads.
+    EXPECT_EQ(comm.log().count(MessageKind::Reduction), 7u);
+    EXPECT_EQ(comm.log().totalBytes(MessageKind::Reduction), 7 * 8);
+}
+
+TEST(SimComm, P2POnRankIsFree) {
+    SimComm comm(2);
+    comm.recordP2P(0, 0, 100, "local");
+    EXPECT_EQ(comm.log().count(), 0u);
+    comm.recordP2P(0, 1, 100, "remote");
+    EXPECT_EQ(comm.log().count(MessageKind::PointToPoint), 1u);
+}
+
+TEST(CommLog, AggregatesByKindAndRank) {
+    CommLog log;
+    log.record({0, 1, 100, MessageKind::PointToPoint, "a"});
+    log.record({1, 2, 50, MessageKind::ParallelCopy, "b"});
+    log.record({2, 0, 25, MessageKind::ParallelCopy, "b"});
+    EXPECT_EQ(log.count(), 3u);
+    EXPECT_EQ(log.totalBytes(), 175);
+    EXPECT_EQ(log.totalBytes(MessageKind::ParallelCopy), 75);
+    const auto per = log.bytesPerRank(3);
+    EXPECT_EQ(per[0], 125); // sent 100 + received 25
+    EXPECT_EQ(per[1], 150);
+    EXPECT_EQ(per[2], 75);
+}
+
+TEST(CommLog, DisableSuppressesRecording) {
+    CommLog log;
+    log.setEnabled(false);
+    log.record({0, 1, 10, MessageKind::PointToPoint, "x"});
+    EXPECT_EQ(log.count(), 0u);
+    log.setEnabled(true);
+    log.record({0, 1, 10, MessageKind::PointToPoint, "x"});
+    EXPECT_EQ(log.count(), 1u);
+}
+
+} // namespace
+} // namespace crocco::parallel

@@ -1,0 +1,126 @@
+#include "problems/Dmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crocco::problems {
+namespace {
+
+using amr::Box;
+using amr::IntVect;
+using amr::MultiFab;
+using core::NCONS;
+using core::UMY;
+using core::URHO;
+
+/// Direct tests of the DMR BC_Fill functor (§V-B): mixed Dirichlet/wall
+/// bottom, moving-shock top, inflow left, outflow right.
+struct DmrBcFixture : ::testing::Test {
+    Dmr dmr{[] {
+        Dmr::Options o;
+        o.nx = 64;
+        o.ny = 16;
+        o.nz = 8;
+        o.curvilinear = false; // uniform grid: physical x == 4 * xi
+        return o;
+    }()};
+    MultiFab mf;
+    amr::PhysBCFunct bc = dmr.boundaryConditions();
+
+    void fill(Real time) {
+        amr::BoxArray ba(dmr.geometry().domain());
+        mf.define(ba, amr::DistributionMapping(ba, 1), NCONS, 4);
+        // Interior: a recognizable linear field.
+        auto a = mf.array(0);
+        amr::forEachCell(mf.grownBox(0), [&](int i, int j, int k) {
+            a(i, j, k, URHO) = 2.0 + 0.01 * i;
+            a(i, j, k, core::UMX) = 1.0;
+            a(i, j, k, UMY) = 0.5;
+            a(i, j, k, core::UMZ) = 0.0;
+            a(i, j, k, core::UEDEN) = 10.0;
+        });
+        bc(mf, dmr.geometry(), time);
+    }
+};
+
+TEST_F(DmrBcFixture, ShockStatesAreExactRankineHugoniot) {
+    const auto pre = Dmr::preShockState();
+    const auto post = Dmr::postShockState();
+    EXPECT_DOUBLE_EQ(pre[URHO], 1.4);
+    EXPECT_DOUBLE_EQ(post[URHO], 8.0);
+    // Post-shock speed 8.25 at 30 degrees below the x-axis.
+    const Real u = post[core::UMX] / post[URHO];
+    const Real v = post[UMY] / post[URHO];
+    EXPECT_NEAR(std::hypot(u, v), 8.25, 1e-12);
+    EXPECT_NEAR(v / u, -std::tan(M_PI / 6.0), 1e-12);
+}
+
+TEST_F(DmrBcFixture, LeftGhostIsPostShockInflow) {
+    fill(0.0);
+    auto a = mf.const_array(0);
+    const auto post = Dmr::postShockState();
+    for (int g = 1; g <= 4; ++g)
+        EXPECT_DOUBLE_EQ(a(-g, 8, 4, URHO), post[URHO]);
+}
+
+TEST_F(DmrBcFixture, RightGhostExtrapolates) {
+    fill(0.0);
+    auto a = mf.const_array(0);
+    EXPECT_DOUBLE_EQ(a(64, 8, 4, URHO), a(63, 8, 4, URHO));
+    EXPECT_DOUBLE_EQ(a(67, 8, 4, URHO), a(63, 8, 4, URHO));
+}
+
+TEST_F(DmrBcFixture, BottomSplitsAtRampFoot) {
+    fill(0.0);
+    auto a = mf.const_array(0);
+    const auto post = Dmr::postShockState();
+    // x < 1/6 (physical): cells i with (i+0.5)/64*4 < 1/6 -> i <= 2.
+    EXPECT_DOUBLE_EQ(a(1, -1, 4, URHO), post[URHO]); // inflow region
+    // Past the foot: reflecting wall mirrors the interior and flips v.
+    EXPECT_DOUBLE_EQ(a(20, -1, 4, URHO), a(20, 0, 4, URHO));
+    EXPECT_DOUBLE_EQ(a(20, -1, 4, UMY), -a(20, 0, 4, UMY));
+    EXPECT_DOUBLE_EQ(a(20, -2, 4, URHO), a(20, 1, 4, URHO));
+}
+
+TEST_F(DmrBcFixture, TopTracksTheMovingShock) {
+    const Real t = 0.05;
+    fill(t);
+    auto a = mf.const_array(0);
+    const Real xs = Dmr::shockXAtTop(t, 1.0);
+    EXPECT_NEAR(xs, 1.0 / 6.0 + (1.0 + 20 * t) / std::sqrt(3.0), 1e-12);
+    const auto post = Dmr::postShockState();
+    const auto pre = Dmr::preShockState();
+    // Cell centers at physical x = (i + 0.5) / 16: left of xs post, right pre.
+    const int iPost = static_cast<int>((xs - 0.2) * 16.0);
+    const int iPre = static_cast<int>((xs + 0.2) * 16.0);
+    EXPECT_DOUBLE_EQ(a(iPost, 16, 4, URHO), post[URHO]);
+    EXPECT_DOUBLE_EQ(a(iPre, 16, 4, URHO), pre[URHO]);
+    // And the shock trace moves right over time.
+    EXPECT_GT(Dmr::shockXAtTop(0.2, 1.0), xs);
+}
+
+TEST_F(DmrBcFixture, SpanwiseGhostsUntouched) {
+    fill(0.0);
+    auto a = mf.const_array(0);
+    // z is periodic: BC_Fill must leave those ghosts for FillBoundary.
+    EXPECT_DOUBLE_EQ(a(30, 8, -1, URHO), 2.0 + 0.01 * 30);
+}
+
+TEST(DmrProblem, InitialConditionShockGeometry) {
+    Dmr dmr{Dmr::Options{}};
+    auto ic = dmr.initialCondition();
+    const auto post = Dmr::postShockState();
+    const auto pre = Dmr::preShockState();
+    // The shock passes through (1/6, 0) at 60 degrees: points below-left are
+    // post-shock, above-right pre-shock.
+    EXPECT_DOUBLE_EQ(ic(0.0, 0.0, 0.0)[URHO], post[URHO]);
+    EXPECT_DOUBLE_EQ(ic(3.0, 0.5, 0.0)[URHO], pre[URHO]);
+    // Just either side of the front at y = 0.5: x* = 1/6 + 0.5/sqrt(3).
+    const double xs = 1.0 / 6.0 + 0.5 / std::sqrt(3.0);
+    EXPECT_DOUBLE_EQ(ic(xs - 0.01, 0.5, 0.0)[URHO], post[URHO]);
+    EXPECT_DOUBLE_EQ(ic(xs + 0.01, 0.5, 0.0)[URHO], pre[URHO]);
+}
+
+} // namespace
+} // namespace crocco::problems

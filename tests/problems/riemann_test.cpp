@@ -1,0 +1,72 @@
+#include "problems/Riemann.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crocco::problems {
+namespace {
+
+constexpr Real kGamma = 1.4;
+
+TEST(ExactRiemann, SodStarRegionValues) {
+    // Canonical Sod values (Toro, Table 4.2): p* = 0.30313, u* = 0.92745.
+    const RiemannState L{1.0, 0.0, 1.0}, R{0.125, 0.0, 0.1};
+    const auto contact = exactRiemann(L, R, kGamma, 0.5); // inside star region
+    EXPECT_NEAR(contact.p, 0.30313, 1e-4);
+    EXPECT_NEAR(contact.u, 0.92745, 1e-4);
+}
+
+TEST(ExactRiemann, SodWaveStructure) {
+    const RiemannState L{1.0, 0.0, 1.0}, R{0.125, 0.0, 0.1};
+    // Far left: undisturbed left state; far right: undisturbed right state.
+    EXPECT_NEAR(exactRiemann(L, R, kGamma, -2.0).rho, 1.0, 1e-12);
+    EXPECT_NEAR(exactRiemann(L, R, kGamma, 3.0).rho, 0.125, 1e-12);
+    // Left star density (behind rarefaction) ~ 0.42632; right star (behind
+    // shock) ~ 0.26557.
+    EXPECT_NEAR(exactRiemann(L, R, kGamma, 0.5).rho, 0.42632, 1e-4);
+    EXPECT_NEAR(exactRiemann(L, R, kGamma, 1.2).rho, 0.26557, 1e-4);
+}
+
+TEST(ExactRiemann, SymmetricCollisionHasZeroContactVelocity) {
+    const RiemannState L{1.0, 1.0, 1.0}, R{1.0, -1.0, 1.0};
+    const auto mid = exactRiemann(L, R, kGamma, 0.0);
+    EXPECT_NEAR(mid.u, 0.0, 1e-10);
+    EXPECT_GT(mid.p, 1.0); // compression raises pressure
+    EXPECT_GT(mid.rho, 1.0);
+}
+
+TEST(ExactRiemann, SymmetricExpansionLowersPressure) {
+    const RiemannState L{1.0, -0.5, 1.0}, R{1.0, 0.5, 1.0};
+    const auto mid = exactRiemann(L, R, kGamma, 0.0);
+    EXPECT_NEAR(mid.u, 0.0, 1e-10);
+    EXPECT_LT(mid.p, 1.0);
+    EXPECT_GT(mid.p, 0.0);
+}
+
+TEST(ExactRiemann, PureShockJumpSatisfiesRankineHugoniot) {
+    // Mach 10 normal shock into quiescent gas (the DMR incident shock):
+    // downstream/upstream density ratio = (gamma+1)M^2 / ((gamma-1)M^2 + 2).
+    const Real M = 10.0;
+    const Real rho1 = 1.4, p1 = 1.0, a1 = 1.0;
+    const Real rhoRatio = (kGamma + 1) * M * M / ((kGamma - 1) * M * M + 2);
+    const Real pRatio = 1 + 2 * kGamma / (kGamma + 1) * (M * M - 1);
+    // Post-shock speed (lab frame, shock moving right at M*a1 into gas at
+    // rest): u2 = 2 a1 (M^2 - 1) / ((gamma+1) M).
+    const Real u2 = 2 * a1 * (M * M - 1) / ((kGamma + 1) * M);
+    // Set up the Riemann problem whose right-moving shock is exactly that:
+    // left = post-shock, right = quiescent.
+    const RiemannState L{rho1 * rhoRatio, u2, p1 * pRatio};
+    const RiemannState R{rho1, 0.0, p1};
+    // Sample behind the shock.
+    const auto behind = exactRiemann(L, R, kGamma, u2 * 0.5);
+    EXPECT_NEAR(behind.rho, L.rho, 1e-6 * L.rho);
+    EXPECT_NEAR(behind.p, L.p, 1e-6 * L.p);
+    // The DMR post-shock state (rho = 8, p = 116.5) is this jump.
+    EXPECT_NEAR(rho1 * rhoRatio, 8.0, 0.05);
+    EXPECT_NEAR(p1 * pRatio, 116.5, 0.1);
+    EXPECT_NEAR(u2, 8.25, 0.01);
+}
+
+} // namespace
+} // namespace crocco::problems
