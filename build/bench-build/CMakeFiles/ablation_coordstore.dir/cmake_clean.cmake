@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coordstore"
+  "../bench/ablation_coordstore.pdb"
+  "CMakeFiles/ablation_coordstore.dir/ablation_coordstore.cpp.o"
+  "CMakeFiles/ablation_coordstore.dir/ablation_coordstore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coordstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

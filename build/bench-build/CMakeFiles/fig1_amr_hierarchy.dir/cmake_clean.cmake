@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_amr_hierarchy"
+  "../bench/fig1_amr_hierarchy.pdb"
+  "CMakeFiles/fig1_amr_hierarchy.dir/fig1_amr_hierarchy.cpp.o"
+  "CMakeFiles/fig1_amr_hierarchy.dir/fig1_amr_hierarchy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_amr_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_roofline"
+  "../bench/fig4_roofline.pdb"
+  "CMakeFiles/fig4_roofline.dir/fig4_roofline.cpp.o"
+  "CMakeFiles/fig4_roofline.dir/fig4_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_region_profile"
+  "../bench/fig6_region_profile.pdb"
+  "CMakeFiles/fig6_region_profile.dir/fig6_region_profile.cpp.o"
+  "CMakeFiles/fig6_region_profile.dir/fig6_region_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_region_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_fillpatch_profile"
+  "../bench/fig7_fillpatch_profile.pdb"
+  "CMakeFiles/fig7_fillpatch_profile.dir/fig7_fillpatch_profile.cpp.o"
+  "CMakeFiles/fig7_fillpatch_profile.dir/fig7_fillpatch_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fillpatch_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

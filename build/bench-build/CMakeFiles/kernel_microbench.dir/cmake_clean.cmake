@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/kernel_microbench"
+  "../bench/kernel_microbench.pdb"
+  "CMakeFiles/kernel_microbench.dir/kernel_microbench.cpp.o"
+  "CMakeFiles/kernel_microbench.dir/kernel_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

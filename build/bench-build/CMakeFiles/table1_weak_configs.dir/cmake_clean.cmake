@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_weak_configs"
+  "../bench/table1_weak_configs.pdb"
+  "CMakeFiles/table1_weak_configs.dir/table1_weak_configs.cpp.o"
+  "CMakeFiles/table1_weak_configs.dir/table1_weak_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_weak_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

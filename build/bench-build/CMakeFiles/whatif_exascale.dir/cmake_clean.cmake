@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/whatif_exascale"
+  "../bench/whatif_exascale.pdb"
+  "CMakeFiles/whatif_exascale.dir/whatif_exascale.cpp.o"
+  "CMakeFiles/whatif_exascale.dir/whatif_exascale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_exascale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_adaptivity.dir/amr_adaptivity.cpp.o"
+  "CMakeFiles/amr_adaptivity.dir/amr_adaptivity.cpp.o.d"
+  "amr_adaptivity"
+  "amr_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_ramp.dir/compression_ramp.cpp.o"
+  "CMakeFiles/compression_ramp.dir/compression_ramp.cpp.o.d"
+  "compression_ramp"
+  "compression_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

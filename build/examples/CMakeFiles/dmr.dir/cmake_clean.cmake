@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr.dir/dmr.cpp.o"
+  "CMakeFiles/dmr.dir/dmr.cpp.o.d"
+  "dmr"
+  "dmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

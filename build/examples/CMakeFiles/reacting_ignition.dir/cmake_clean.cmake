@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reacting_ignition.dir/reacting_ignition.cpp.o"
+  "CMakeFiles/reacting_ignition.dir/reacting_ignition.cpp.o.d"
+  "reacting_ignition"
+  "reacting_ignition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reacting_ignition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

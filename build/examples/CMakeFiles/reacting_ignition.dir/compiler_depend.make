@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reacting_ignition.
+# This may be replaced when dependencies are built.

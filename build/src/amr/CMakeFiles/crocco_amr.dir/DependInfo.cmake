@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/AmrCore.cpp" "src/amr/CMakeFiles/crocco_amr.dir/AmrCore.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/AmrCore.cpp.o.d"
+  "/root/repo/src/amr/Box.cpp" "src/amr/CMakeFiles/crocco_amr.dir/Box.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/Box.cpp.o.d"
+  "/root/repo/src/amr/BoxArray.cpp" "src/amr/CMakeFiles/crocco_amr.dir/BoxArray.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/BoxArray.cpp.o.d"
+  "/root/repo/src/amr/BoxList.cpp" "src/amr/CMakeFiles/crocco_amr.dir/BoxList.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/BoxList.cpp.o.d"
+  "/root/repo/src/amr/Cluster.cpp" "src/amr/CMakeFiles/crocco_amr.dir/Cluster.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/Cluster.cpp.o.d"
+  "/root/repo/src/amr/DistributionMapping.cpp" "src/amr/CMakeFiles/crocco_amr.dir/DistributionMapping.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/DistributionMapping.cpp.o.d"
+  "/root/repo/src/amr/FArrayBox.cpp" "src/amr/CMakeFiles/crocco_amr.dir/FArrayBox.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/FArrayBox.cpp.o.d"
+  "/root/repo/src/amr/FillPatch.cpp" "src/amr/CMakeFiles/crocco_amr.dir/FillPatch.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/FillPatch.cpp.o.d"
+  "/root/repo/src/amr/Geometry.cpp" "src/amr/CMakeFiles/crocco_amr.dir/Geometry.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/Geometry.cpp.o.d"
+  "/root/repo/src/amr/Interpolater.cpp" "src/amr/CMakeFiles/crocco_amr.dir/Interpolater.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/Interpolater.cpp.o.d"
+  "/root/repo/src/amr/Morton.cpp" "src/amr/CMakeFiles/crocco_amr.dir/Morton.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/Morton.cpp.o.d"
+  "/root/repo/src/amr/MultiFab.cpp" "src/amr/CMakeFiles/crocco_amr.dir/MultiFab.cpp.o" "gcc" "src/amr/CMakeFiles/crocco_amr.dir/MultiFab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

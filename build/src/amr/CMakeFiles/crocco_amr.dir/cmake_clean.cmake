@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_amr.dir/AmrCore.cpp.o"
+  "CMakeFiles/crocco_amr.dir/AmrCore.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/Box.cpp.o"
+  "CMakeFiles/crocco_amr.dir/Box.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/BoxArray.cpp.o"
+  "CMakeFiles/crocco_amr.dir/BoxArray.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/BoxList.cpp.o"
+  "CMakeFiles/crocco_amr.dir/BoxList.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/Cluster.cpp.o"
+  "CMakeFiles/crocco_amr.dir/Cluster.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/DistributionMapping.cpp.o"
+  "CMakeFiles/crocco_amr.dir/DistributionMapping.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/FArrayBox.cpp.o"
+  "CMakeFiles/crocco_amr.dir/FArrayBox.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/FillPatch.cpp.o"
+  "CMakeFiles/crocco_amr.dir/FillPatch.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/Geometry.cpp.o"
+  "CMakeFiles/crocco_amr.dir/Geometry.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/Interpolater.cpp.o"
+  "CMakeFiles/crocco_amr.dir/Interpolater.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/Morton.cpp.o"
+  "CMakeFiles/crocco_amr.dir/Morton.cpp.o.d"
+  "CMakeFiles/crocco_amr.dir/MultiFab.cpp.o"
+  "CMakeFiles/crocco_amr.dir/MultiFab.cpp.o.d"
+  "libcrocco_amr.a"
+  "libcrocco_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_chem.dir/Reaction.cpp.o"
+  "CMakeFiles/crocco_chem.dir/Reaction.cpp.o.d"
+  "CMakeFiles/crocco_chem.dir/Thermo.cpp.o"
+  "CMakeFiles/crocco_chem.dir/Thermo.cpp.o.d"
+  "libcrocco_chem.a"
+  "libcrocco_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BCFill.cpp" "src/core/CMakeFiles/crocco_core.dir/BCFill.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/BCFill.cpp.o.d"
+  "/root/repo/src/core/ComputeDt.cpp" "src/core/CMakeFiles/crocco_core.dir/ComputeDt.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/ComputeDt.cpp.o.d"
+  "/root/repo/src/core/CroccoAmr.cpp" "src/core/CMakeFiles/crocco_core.dir/CroccoAmr.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/CroccoAmr.cpp.o.d"
+  "/root/repo/src/core/Eigen.cpp" "src/core/CMakeFiles/crocco_core.dir/Eigen.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/Eigen.cpp.o.d"
+  "/root/repo/src/core/KernelProfiles.cpp" "src/core/CMakeFiles/crocco_core.dir/KernelProfiles.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/KernelProfiles.cpp.o.d"
+  "/root/repo/src/core/Rans.cpp" "src/core/CMakeFiles/crocco_core.dir/Rans.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/Rans.cpp.o.d"
+  "/root/repo/src/core/Sgs.cpp" "src/core/CMakeFiles/crocco_core.dir/Sgs.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/Sgs.cpp.o.d"
+  "/root/repo/src/core/SpeciesTransport.cpp" "src/core/CMakeFiles/crocco_core.dir/SpeciesTransport.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/SpeciesTransport.cpp.o.d"
+  "/root/repo/src/core/Tagging.cpp" "src/core/CMakeFiles/crocco_core.dir/Tagging.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/Tagging.cpp.o.d"
+  "/root/repo/src/core/Viscous.cpp" "src/core/CMakeFiles/crocco_core.dir/Viscous.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/Viscous.cpp.o.d"
+  "/root/repo/src/core/Weno.cpp" "src/core/CMakeFiles/crocco_core.dir/Weno.cpp.o" "gcc" "src/core/CMakeFiles/crocco_core.dir/Weno.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/crocco_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/crocco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/crocco_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/crocco_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_core.dir/BCFill.cpp.o"
+  "CMakeFiles/crocco_core.dir/BCFill.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/ComputeDt.cpp.o"
+  "CMakeFiles/crocco_core.dir/ComputeDt.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/CroccoAmr.cpp.o"
+  "CMakeFiles/crocco_core.dir/CroccoAmr.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/Eigen.cpp.o"
+  "CMakeFiles/crocco_core.dir/Eigen.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/KernelProfiles.cpp.o"
+  "CMakeFiles/crocco_core.dir/KernelProfiles.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/Rans.cpp.o"
+  "CMakeFiles/crocco_core.dir/Rans.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/Sgs.cpp.o"
+  "CMakeFiles/crocco_core.dir/Sgs.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/SpeciesTransport.cpp.o"
+  "CMakeFiles/crocco_core.dir/SpeciesTransport.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/Tagging.cpp.o"
+  "CMakeFiles/crocco_core.dir/Tagging.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/Viscous.cpp.o"
+  "CMakeFiles/crocco_core.dir/Viscous.cpp.o.d"
+  "CMakeFiles/crocco_core.dir/Weno.cpp.o"
+  "CMakeFiles/crocco_core.dir/Weno.cpp.o.d"
+  "libcrocco_core.a"
+  "libcrocco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/Arena.cpp" "src/gpu/CMakeFiles/crocco_gpu.dir/Arena.cpp.o" "gcc" "src/gpu/CMakeFiles/crocco_gpu.dir/Arena.cpp.o.d"
+  "/root/repo/src/gpu/DeviceModel.cpp" "src/gpu/CMakeFiles/crocco_gpu.dir/DeviceModel.cpp.o" "gcc" "src/gpu/CMakeFiles/crocco_gpu.dir/DeviceModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/crocco_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_gpu.dir/Arena.cpp.o"
+  "CMakeFiles/crocco_gpu.dir/Arena.cpp.o.d"
+  "CMakeFiles/crocco_gpu.dir/DeviceModel.cpp.o"
+  "CMakeFiles/crocco_gpu.dir/DeviceModel.cpp.o.d"
+  "libcrocco_gpu.a"
+  "libcrocco_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

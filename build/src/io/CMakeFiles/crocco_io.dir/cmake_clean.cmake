@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_io.dir/ParmParse.cpp.o"
+  "CMakeFiles/crocco_io.dir/ParmParse.cpp.o.d"
+  "CMakeFiles/crocco_io.dir/Plotfile.cpp.o"
+  "CMakeFiles/crocco_io.dir/Plotfile.cpp.o.d"
+  "libcrocco_io.a"
+  "libcrocco_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_machine.dir/NetworkModel.cpp.o"
+  "CMakeFiles/crocco_machine.dir/NetworkModel.cpp.o.d"
+  "CMakeFiles/crocco_machine.dir/ScalingSimulator.cpp.o"
+  "CMakeFiles/crocco_machine.dir/ScalingSimulator.cpp.o.d"
+  "CMakeFiles/crocco_machine.dir/SummitMachine.cpp.o"
+  "CMakeFiles/crocco_machine.dir/SummitMachine.cpp.o.d"
+  "libcrocco_machine.a"
+  "libcrocco_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/CoordStore.cpp" "src/mesh/CMakeFiles/crocco_mesh.dir/CoordStore.cpp.o" "gcc" "src/mesh/CMakeFiles/crocco_mesh.dir/CoordStore.cpp.o.d"
+  "/root/repo/src/mesh/GridMetrics.cpp" "src/mesh/CMakeFiles/crocco_mesh.dir/GridMetrics.cpp.o" "gcc" "src/mesh/CMakeFiles/crocco_mesh.dir/GridMetrics.cpp.o.d"
+  "/root/repo/src/mesh/Mapping.cpp" "src/mesh/CMakeFiles/crocco_mesh.dir/Mapping.cpp.o" "gcc" "src/mesh/CMakeFiles/crocco_mesh.dir/Mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/crocco_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_mesh.dir/CoordStore.cpp.o"
+  "CMakeFiles/crocco_mesh.dir/CoordStore.cpp.o.d"
+  "CMakeFiles/crocco_mesh.dir/GridMetrics.cpp.o"
+  "CMakeFiles/crocco_mesh.dir/GridMetrics.cpp.o.d"
+  "CMakeFiles/crocco_mesh.dir/Mapping.cpp.o"
+  "CMakeFiles/crocco_mesh.dir/Mapping.cpp.o.d"
+  "libcrocco_mesh.a"
+  "libcrocco_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_parallel.dir/SimComm.cpp.o"
+  "CMakeFiles/crocco_parallel.dir/SimComm.cpp.o.d"
+  "libcrocco_parallel.a"
+  "libcrocco_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_perf.dir/TinyProfiler.cpp.o"
+  "CMakeFiles/crocco_perf.dir/TinyProfiler.cpp.o.d"
+  "libcrocco_perf.a"
+  "libcrocco_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

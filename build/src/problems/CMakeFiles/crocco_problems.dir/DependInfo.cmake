@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/Canonical.cpp" "src/problems/CMakeFiles/crocco_problems.dir/Canonical.cpp.o" "gcc" "src/problems/CMakeFiles/crocco_problems.dir/Canonical.cpp.o.d"
+  "/root/repo/src/problems/Dmr.cpp" "src/problems/CMakeFiles/crocco_problems.dir/Dmr.cpp.o" "gcc" "src/problems/CMakeFiles/crocco_problems.dir/Dmr.cpp.o.d"
+  "/root/repo/src/problems/Riemann.cpp" "src/problems/CMakeFiles/crocco_problems.dir/Riemann.cpp.o" "gcc" "src/problems/CMakeFiles/crocco_problems.dir/Riemann.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crocco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/crocco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/crocco_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/crocco_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/crocco_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

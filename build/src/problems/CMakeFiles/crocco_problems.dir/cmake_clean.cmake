@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_problems.dir/Canonical.cpp.o"
+  "CMakeFiles/crocco_problems.dir/Canonical.cpp.o.d"
+  "CMakeFiles/crocco_problems.dir/Dmr.cpp.o"
+  "CMakeFiles/crocco_problems.dir/Dmr.cpp.o.d"
+  "CMakeFiles/crocco_problems.dir/Riemann.cpp.o"
+  "CMakeFiles/crocco_problems.dir/Riemann.cpp.o.d"
+  "libcrocco_problems.a"
+  "libcrocco_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrcore_test.dir/amr/amrcore_test.cpp.o"
+  "CMakeFiles/amrcore_test.dir/amr/amrcore_test.cpp.o.d"
+  "amrcore_test"
+  "amrcore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

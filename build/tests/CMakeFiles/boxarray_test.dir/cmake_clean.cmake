@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boxarray_test.dir/amr/boxarray_test.cpp.o"
+  "CMakeFiles/boxarray_test.dir/amr/boxarray_test.cpp.o.d"
+  "boxarray_test"
+  "boxarray_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boxarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

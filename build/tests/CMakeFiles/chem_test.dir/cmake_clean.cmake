@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_test.dir/chem/chem_test.cpp.o"
+  "CMakeFiles/chem_test.dir/chem/chem_test.cpp.o.d"
+  "chem_test"
+  "chem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordstore_test.dir/mesh/coordstore_test.cpp.o"
+  "CMakeFiles/coordstore_test.dir/mesh/coordstore_test.cpp.o.d"
+  "coordstore_test"
+  "coordstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/croccoamr_test.dir/core/croccoamr_test.cpp.o"
+  "CMakeFiles/croccoamr_test.dir/core/croccoamr_test.cpp.o.d"
+  "croccoamr_test"
+  "croccoamr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/croccoamr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

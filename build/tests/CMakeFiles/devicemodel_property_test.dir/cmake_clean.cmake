@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devicemodel_property_test.dir/gpu/devicemodel_property_test.cpp.o"
+  "CMakeFiles/devicemodel_property_test.dir/gpu/devicemodel_property_test.cpp.o.d"
+  "devicemodel_property_test"
+  "devicemodel_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devicemodel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

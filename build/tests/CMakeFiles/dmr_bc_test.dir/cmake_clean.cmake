@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_bc_test.dir/problems/dmr_bc_test.cpp.o"
+  "CMakeFiles/dmr_bc_test.dir/problems/dmr_bc_test.cpp.o.d"
+  "dmr_bc_test"
+  "dmr_bc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_bc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_test.dir/amr/fab_test.cpp.o"
+  "CMakeFiles/fab_test.dir/amr/fab_test.cpp.o.d"
+  "fab_test"
+  "fab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fillpatch_test.dir/amr/fillpatch_test.cpp.o"
+  "CMakeFiles/fillpatch_test.dir/amr/fillpatch_test.cpp.o.d"
+  "fillpatch_test"
+  "fillpatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fillpatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_property_test.dir/machine/hierarchy_property_test.cpp.o"
+  "CMakeFiles/hierarchy_property_test.dir/machine/hierarchy_property_test.cpp.o.d"
+  "hierarchy_property_test"
+  "hierarchy_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multifab_test.dir/amr/multifab_test.cpp.o"
+  "CMakeFiles/multifab_test.dir/amr/multifab_test.cpp.o.d"
+  "multifab_test"
+  "multifab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multifab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parmparse_test.dir/io/parmparse_test.cpp.o"
+  "CMakeFiles/parmparse_test.dir/io/parmparse_test.cpp.o.d"
+  "parmparse_test"
+  "parmparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parmparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

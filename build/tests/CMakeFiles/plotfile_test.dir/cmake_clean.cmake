@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plotfile_test.dir/io/plotfile_test.cpp.o"
+  "CMakeFiles/plotfile_test.dir/io/plotfile_test.cpp.o.d"
+  "plotfile_test"
+  "plotfile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plotfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

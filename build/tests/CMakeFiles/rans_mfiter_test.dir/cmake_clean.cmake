@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rans_mfiter_test.dir/core/rans_mfiter_test.cpp.o"
+  "CMakeFiles/rans_mfiter_test.dir/core/rans_mfiter_test.cpp.o.d"
+  "rans_mfiter_test"
+  "rans_mfiter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rans_mfiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riemann_test.dir/problems/riemann_test.cpp.o"
+  "CMakeFiles/riemann_test.dir/problems/riemann_test.cpp.o.d"
+  "riemann_test"
+  "riemann_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riemann_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

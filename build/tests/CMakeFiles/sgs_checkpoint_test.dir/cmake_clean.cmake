@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgs_checkpoint_test.dir/core/sgs_checkpoint_test.cpp.o"
+  "CMakeFiles/sgs_checkpoint_test.dir/core/sgs_checkpoint_test.cpp.o.d"
+  "sgs_checkpoint_test"
+  "sgs_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgs_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcomm_test.dir/parallel/simcomm_test.cpp.o"
+  "CMakeFiles/simcomm_test.dir/parallel/simcomm_test.cpp.o.d"
+  "simcomm_test"
+  "simcomm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcomm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_units_test.dir/core/solver_units_test.cpp.o"
+  "CMakeFiles/solver_units_test.dir/core/solver_units_test.cpp.o.d"
+  "solver_units_test"
+  "solver_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/species_transport_test.dir/core/species_transport_test.cpp.o"
+  "CMakeFiles/species_transport_test.dir/core/species_transport_test.cpp.o.d"
+  "species_transport_test"
+  "species_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/species_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viscous_test.dir/core/viscous_test.cpp.o"
+  "CMakeFiles/viscous_test.dir/core/viscous_test.cpp.o.d"
+  "viscous_test"
+  "viscous_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viscous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

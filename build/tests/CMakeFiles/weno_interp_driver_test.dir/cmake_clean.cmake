@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weno_interp_driver_test.dir/core/weno_interp_driver_test.cpp.o"
+  "CMakeFiles/weno_interp_driver_test.dir/core/weno_interp_driver_test.cpp.o.d"
+  "weno_interp_driver_test"
+  "weno_interp_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weno_interp_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

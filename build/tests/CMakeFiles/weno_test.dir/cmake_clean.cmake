@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weno_test.dir/core/weno_test.cpp.o"
+  "CMakeFiles/weno_test.dir/core/weno_test.cpp.o.d"
+  "weno_test"
+  "weno_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
