@@ -253,10 +253,19 @@ src/core/CMakeFiles/crocco_core.dir/CroccoAmr.cpp.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/Rk3.hpp \
- /root/repo/src/mesh/GridMetrics.hpp /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
- /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/resilience/FaultInjector.hpp \
+ /root/repo/src/resilience/Health.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/resilience/RestartManager.hpp /root/repo/src/core/Rk3.hpp \
+ /root/repo/src/mesh/GridMetrics.hpp /root/repo/src/resilience/Crc32.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/resilience/StateValidator.hpp \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \

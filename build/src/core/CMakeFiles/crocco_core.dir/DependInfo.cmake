@@ -27,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mesh/CMakeFiles/crocco_mesh.dir/DependInfo.cmake"
   "/root/repo/build/src/gpu/CMakeFiles/crocco_gpu.dir/DependInfo.cmake"
   "/root/repo/build/src/perf/CMakeFiles/crocco_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/crocco_resilience.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
   )
 

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/FailureModel.cpp" "src/machine/CMakeFiles/crocco_machine.dir/FailureModel.cpp.o" "gcc" "src/machine/CMakeFiles/crocco_machine.dir/FailureModel.cpp.o.d"
   "/root/repo/src/machine/NetworkModel.cpp" "src/machine/CMakeFiles/crocco_machine.dir/NetworkModel.cpp.o" "gcc" "src/machine/CMakeFiles/crocco_machine.dir/NetworkModel.cpp.o.d"
   "/root/repo/src/machine/ScalingSimulator.cpp" "src/machine/CMakeFiles/crocco_machine.dir/ScalingSimulator.cpp.o" "gcc" "src/machine/CMakeFiles/crocco_machine.dir/ScalingSimulator.cpp.o.d"
   "/root/repo/src/machine/SummitMachine.cpp" "src/machine/CMakeFiles/crocco_machine.dir/SummitMachine.cpp.o" "gcc" "src/machine/CMakeFiles/crocco_machine.dir/SummitMachine.cpp.o.d"
@@ -20,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/perf/CMakeFiles/crocco_perf.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/crocco_core.dir/DependInfo.cmake"
   "/root/repo/build/src/mesh/CMakeFiles/crocco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/crocco_resilience.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/crocco_machine.dir/FailureModel.cpp.o"
+  "CMakeFiles/crocco_machine.dir/FailureModel.cpp.o.d"
   "CMakeFiles/crocco_machine.dir/NetworkModel.cpp.o"
   "CMakeFiles/crocco_machine.dir/NetworkModel.cpp.o.d"
   "CMakeFiles/crocco_machine.dir/ScalingSimulator.cpp.o"

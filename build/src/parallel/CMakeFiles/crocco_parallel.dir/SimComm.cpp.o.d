@@ -141,4 +141,8 @@ src/parallel/CMakeFiles/crocco_parallel.dir/SimComm.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
- /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/Crc32.cpp" "src/resilience/CMakeFiles/crocco_resilience.dir/Crc32.cpp.o" "gcc" "src/resilience/CMakeFiles/crocco_resilience.dir/Crc32.cpp.o.d"
+  "/root/repo/src/resilience/FaultInjector.cpp" "src/resilience/CMakeFiles/crocco_resilience.dir/FaultInjector.cpp.o" "gcc" "src/resilience/CMakeFiles/crocco_resilience.dir/FaultInjector.cpp.o.d"
+  "/root/repo/src/resilience/Health.cpp" "src/resilience/CMakeFiles/crocco_resilience.dir/Health.cpp.o" "gcc" "src/resilience/CMakeFiles/crocco_resilience.dir/Health.cpp.o.d"
+  "/root/repo/src/resilience/RestartManager.cpp" "src/resilience/CMakeFiles/crocco_resilience.dir/RestartManager.cpp.o" "gcc" "src/resilience/CMakeFiles/crocco_resilience.dir/RestartManager.cpp.o.d"
+  "/root/repo/src/resilience/StateValidator.cpp" "src/resilience/CMakeFiles/crocco_resilience.dir/StateValidator.cpp.o" "gcc" "src/resilience/CMakeFiles/crocco_resilience.dir/StateValidator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/crocco_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/crocco_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

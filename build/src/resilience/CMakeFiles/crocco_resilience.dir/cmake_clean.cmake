@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crocco_resilience.dir/Crc32.cpp.o"
+  "CMakeFiles/crocco_resilience.dir/Crc32.cpp.o.d"
+  "CMakeFiles/crocco_resilience.dir/FaultInjector.cpp.o"
+  "CMakeFiles/crocco_resilience.dir/FaultInjector.cpp.o.d"
+  "CMakeFiles/crocco_resilience.dir/Health.cpp.o"
+  "CMakeFiles/crocco_resilience.dir/Health.cpp.o.d"
+  "CMakeFiles/crocco_resilience.dir/RestartManager.cpp.o"
+  "CMakeFiles/crocco_resilience.dir/RestartManager.cpp.o.d"
+  "CMakeFiles/crocco_resilience.dir/StateValidator.cpp.o"
+  "CMakeFiles/crocco_resilience.dir/StateValidator.cpp.o.d"
+  "libcrocco_resilience.a"
+  "libcrocco_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crocco_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrocco_resilience.a"
+)

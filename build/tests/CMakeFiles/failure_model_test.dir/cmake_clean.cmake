@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_model_test.dir/machine/failure_model_test.cpp.o"
+  "CMakeFiles/failure_model_test.dir/machine/failure_model_test.cpp.o.d"
+  "failure_model_test"
+  "failure_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -255,6 +255,15 @@ tests/CMakeFiles/hierarchy_property_test.dir/machine/hierarchy_property_test.cpp
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/resilience/FaultInjector.hpp \
+ /root/repo/src/resilience/Health.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/resilience/RestartManager.hpp \
+ /root/repo/src/machine/FailureModel.hpp \
  /root/repo/src/machine/NetworkModel.hpp \
  /root/repo/src/machine/SummitMachine.hpp \
  /root/repo/src/gpu/DeviceModel.hpp /root/miniconda/include/gtest/gtest.h \

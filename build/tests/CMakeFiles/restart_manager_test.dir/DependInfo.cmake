@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/resilience/restart_manager_test.cpp" "tests/CMakeFiles/restart_manager_test.dir/resilience/restart_manager_test.cpp.o" "gcc" "tests/CMakeFiles/restart_manager_test.dir/resilience/restart_manager_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/problems/CMakeFiles/crocco_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/crocco_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/crocco_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/crocco_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crocco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/crocco_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/crocco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/crocco_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/crocco_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/crocco_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/crocco_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

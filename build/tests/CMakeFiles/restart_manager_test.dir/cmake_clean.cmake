@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_manager_test.dir/resilience/restart_manager_test.cpp.o"
+  "CMakeFiles/restart_manager_test.dir/resilience/restart_manager_test.cpp.o.d"
+  "restart_manager_test"
+  "restart_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -2,8 +2,11 @@
 
 #include "core/Rk3.hpp"
 #include "mesh/GridMetrics.hpp"
+#include "resilience/Crc32.hpp"
+#include "resilience/StateValidator.hpp"
 
 #include <cassert>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -230,13 +233,82 @@ void CroccoAmr::step() {
         regrid(0, time_);
     }
     dt_ = computeDtAllLevels();
-    rk3Advance();
+    if (faultInjector_) dt_ = faultInjector_->perturbDt(step_, dt_);
+
+    if (!cfg_.guard.enabled) {
+        rk3Advance();
+        if (faultInjector_) faultInjector_->corruptState(step_, U_, finestLevel());
+        time_ += dt_;
+        ++step_;
+        return;
+    }
+
+    // Snapshot the conserved state so a corrupted step can be undone. The
+    // RK3 accumulator G is annihilated at stage 0 (A[0] = 0), so U_ plus
+    // the unadvanced time/step counters are the whole rollback state.
+    std::vector<MultiFab> snapshot;
+    snapshot.reserve(static_cast<std::size_t>(finestLevel()) + 1);
+    for (int lev = 0; lev <= finestLevel(); ++lev)
+        snapshot.push_back(U_[static_cast<std::size_t>(lev)]);
+    auto restore = [&] {
+        for (int lev = 0; lev <= finestLevel(); ++lev) {
+            U_[static_cast<std::size_t>(lev)] = snapshot[static_cast<std::size_t>(lev)];
+            G_[static_cast<std::size_t>(lev)].setVal(0.0);
+        }
+    };
+
+    for (int attempt = 0;; ++attempt) {
+        rk3Advance();
+        if (faultInjector_) faultInjector_->corruptState(step_, U_, finestLevel());
+        resilience::HealthReport rep;
+        {
+            perf::TinyProfiler::Scope scope(prof_, "HealthCheck");
+            rep = resilience::validateHierarchy(U_, finestLevel(), cfg_.gas,
+                                                cfg_.guard.maxFaultsReported);
+        }
+        if (rep.healthy()) {
+            lastHealth_ = std::move(rep);
+            break;
+        }
+        restore();
+        if (attempt >= cfg_.guard.maxRetries)
+            throw resilience::SolverDivergence(step_, dt_, std::move(rep));
+        ++rollbackCount_;
+        dt_ *= cfg_.guard.dtBackoff;
+    }
     time_ += dt_;
     ++step_;
 }
 
 void CroccoAmr::evolve(int nsteps) {
     for (int n = 0; n < nsteps; ++n) step();
+}
+
+void CroccoAmr::evolve(int nsteps, const EvolveOptions& opts) {
+    const int target = step_ + nsteps;
+    const bool checkpointing = opts.restart && opts.checkpointEvery > 0;
+    // Seed a recovery point before the first step so a divergence early in
+    // the run still has somewhere to fall back to.
+    if (checkpointing && opts.restart->available().empty())
+        opts.restart->write(step_,
+                            [&](const std::string& d) { writeCheckpoint(d); });
+    int recoveries = 0;
+    while (step_ < target) {
+        try {
+            step();
+        } catch (const resilience::SolverDivergence&) {
+            if (!opts.restart || recoveries >= opts.maxRecoveries) throw;
+            ++recoveries;
+            ++recoveryCount_;
+            opts.restart->restoreLatest([&](const std::string& d) {
+                readCheckpoint(d, init_, physBC_);
+            });
+            continue;
+        }
+        if (checkpointing && step_ % opts.checkpointEvery == 0)
+            opts.restart->write(
+                step_, [&](const std::string& d) { writeCheckpoint(d); });
+    }
 }
 
 std::array<Real, NCONS> CroccoAmr::conservedTotals() const {
@@ -267,79 +339,160 @@ std::array<Real, NCONS> CroccoAmr::conservedTotals() const {
 
 void CroccoAmr::writeCheckpoint(const std::string& dir) const {
     namespace fs = std::filesystem;
-    fs::create_directories(dir);
-    std::ofstream hdr(dir + "/header.txt");
+    // Stage into a sibling tmp directory and rename into place: a crash or
+    // job kill mid-write leaves only the tmp dir behind, never a plausible-
+    // looking half-checkpoint at `dir`.
+    const fs::path target(dir);
+    const fs::path tmp(dir + ".writing");
+    std::error_code ec;
+    fs::remove_all(tmp, ec);
+    fs::create_directories(tmp);
+
+    std::vector<std::uint32_t> crcs;
+    std::vector<std::uint64_t> sizes;
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        std::vector<Real> vals;
+        vals.reserve(static_cast<std::size_t>(U_[lev].numPts()) * NCONS);
+        for (int f = 0; f < U_[lev].numFabs(); ++f) {
+            auto a = U_[lev].const_array(f);
+            amr::forEachCell(U_[lev].validBox(f), [&](int i, int j, int k) {
+                for (int n = 0; n < NCONS; ++n) vals.push_back(a(i, j, k, n));
+            });
+        }
+        const auto nbytes = vals.size() * sizeof(Real);
+        crcs.push_back(resilience::crc32(vals.data(), nbytes));
+        sizes.push_back(nbytes);
+        const fs::path binPath = tmp / ("level" + std::to_string(lev) + ".bin");
+        std::ofstream bin(binPath, std::ios::binary);
+        bin.write(reinterpret_cast<const char*>(vals.data()),
+                  static_cast<std::streamsize>(nbytes));
+        bin.flush();
+        if (!bin)
+            throw std::runtime_error("failed writing checkpoint level file " +
+                                     binPath.string());
+    }
+
+    std::ofstream hdr(tmp / "header.txt");
     hdr.precision(17); // bit-exact double round-trip
-    hdr << "crocco-checkpoint 1\n";
+    hdr << "crocco-checkpoint 2\n";
     hdr << time_ << ' ' << step_ << ' ' << finestLevel() << '\n';
     for (int lev = 0; lev <= finestLevel(); ++lev) {
         const auto& ba = boxArray(lev);
-        hdr << ba.size() << '\n';
+        hdr << ba.size() << ' ' << crcs[static_cast<std::size_t>(lev)] << ' '
+            << sizes[static_cast<std::size_t>(lev)] << '\n';
         for (int i = 0; i < ba.size(); ++i) {
             const Box& b = ba[i];
             hdr << b.smallEnd(0) << ' ' << b.smallEnd(1) << ' ' << b.smallEnd(2)
                 << ' ' << b.bigEnd(0) << ' ' << b.bigEnd(1) << ' ' << b.bigEnd(2)
                 << ' ' << dmap(lev)[i] << '\n';
         }
-        std::ofstream bin(dir + "/level" + std::to_string(lev) + ".bin",
-                          std::ios::binary);
-        for (int f = 0; f < U_[lev].numFabs(); ++f) {
-            auto a = U_[lev].const_array(f);
-            amr::forEachCell(U_[lev].validBox(f), [&](int i, int j, int k) {
-                for (int n = 0; n < NCONS; ++n) {
-                    const Real v = a(i, j, k, n);
-                    bin.write(reinterpret_cast<const char*>(&v), sizeof(Real));
-                }
-            });
-        }
     }
+    hdr.flush();
+    if (!hdr)
+        throw std::runtime_error("failed writing checkpoint header in " +
+                                 tmp.string());
+    hdr.close();
+    fs::remove_all(target, ec);
+    fs::rename(tmp, target);
 }
 
 void CroccoAmr::readCheckpoint(const std::string& dir, InitFunct ic,
                                amr::PhysBCFunct bc) {
-    init_ = std::move(ic);
-    physBC_ = std::move(bc);
     std::ifstream hdr(dir + "/header.txt");
     if (!hdr) throw std::runtime_error("cannot open checkpoint " + dir);
     std::string magic;
     int version = 0;
     hdr >> magic >> version;
-    if (magic != "crocco-checkpoint" || version != 1)
+    if (magic != "crocco-checkpoint" || version < 1 || version > 2)
         throw std::runtime_error("bad checkpoint header in " + dir);
-    int finest = 0;
-    hdr >> time_ >> step_ >> finest;
+    Real ckTime = 0.0;
+    int ckStep = 0, finest = 0;
+    hdr >> ckTime >> ckStep >> finest;
+    if (!hdr) throw std::runtime_error("bad checkpoint header in " + dir);
     if (finest > maxLevel())
         throw std::runtime_error("checkpoint has more levels than maxLevel");
 
-    for (int lev = 0; lev <= finest; ++lev) {
-        int nboxes = 0;
-        hdr >> nboxes;
+    // Phase 1: parse all metadata and read + verify every level payload.
+    // Nothing of the solver state is touched until the whole checkpoint has
+    // proven sound, so a corrupt checkpoint leaves this solver unchanged
+    // and RestartManager can fall back to an older one.
+    struct LevelIn {
         std::vector<Box> boxes;
         std::vector<int> owners;
-        boxes.reserve(static_cast<std::size_t>(nboxes));
+        std::vector<Real> vals;
+    };
+    std::vector<LevelIn> input(static_cast<std::size_t>(finest) + 1);
+    for (int lev = 0; lev <= finest; ++lev) {
+        LevelIn& in = input[static_cast<std::size_t>(lev)];
+        int nboxes = 0;
+        std::uint32_t wantCrc = 0;
+        std::uint64_t wantBytes = 0;
+        hdr >> nboxes;
+        if (version >= 2) hdr >> wantCrc >> wantBytes;
+        if (!hdr || nboxes <= 0)
+            throw resilience::CheckpointCorruption(
+                "malformed level " + std::to_string(lev) + " record in " + dir +
+                "/header.txt");
+        in.boxes.reserve(static_cast<std::size_t>(nboxes));
         for (int i = 0; i < nboxes; ++i) {
             amr::IntVect lo, hi;
             int owner = 0;
             hdr >> lo[0] >> lo[1] >> lo[2] >> hi[0] >> hi[1] >> hi[2] >> owner;
-            boxes.emplace_back(lo, hi);
-            owners.push_back(owner);
+            in.boxes.emplace_back(lo, hi);
+            in.owners.push_back(owner);
         }
-        const BoxArray ba(std::move(boxes));
-        const DistributionMapping dm(std::move(owners), numRanks());
+        if (!hdr)
+            throw resilience::CheckpointCorruption(
+                "truncated box list for level " + std::to_string(lev) + " in " +
+                dir + "/header.txt");
+
+        std::int64_t npts = 0;
+        for (const Box& b : in.boxes) npts += b.numPts();
+        const auto expectBytes =
+            static_cast<std::uint64_t>(npts) * NCONS * sizeof(Real);
+        const std::string path = dir + "/level" + std::to_string(lev) + ".bin";
+        std::ifstream bin(path, std::ios::binary);
+        if (!bin) throw std::runtime_error("missing checkpoint level data: " + path);
+        bin.seekg(0, std::ios::end);
+        const auto actualBytes = static_cast<std::uint64_t>(bin.tellg());
+        bin.seekg(0, std::ios::beg);
+        if (actualBytes < expectBytes ||
+            (version >= 2 && actualBytes != wantBytes))
+            throw resilience::CheckpointCorruption(
+                "checkpoint level file " + path + " truncated: expected " +
+                std::to_string(version >= 2 ? wantBytes : expectBytes) +
+                " bytes, found " + std::to_string(actualBytes));
+        in.vals.resize(expectBytes / sizeof(Real));
+        bin.read(reinterpret_cast<char*>(in.vals.data()),
+                 static_cast<std::streamsize>(expectBytes));
+        if (bin.gcount() != static_cast<std::streamsize>(expectBytes))
+            throw resilience::CheckpointCorruption(
+                "short read in checkpoint level file " + path + ": got " +
+                std::to_string(bin.gcount()) + " of " +
+                std::to_string(expectBytes) + " bytes");
+        if (version >= 2 &&
+            resilience::crc32(in.vals.data(), expectBytes) != wantCrc)
+            throw resilience::CheckpointCorruption(
+                "CRC32 mismatch in checkpoint level file " + path);
+    }
+
+    // Phase 2: the checkpoint is sound — apply it.
+    init_ = std::move(ic);
+    physBC_ = std::move(bc);
+    time_ = ckTime;
+    step_ = ckStep;
+    for (int lev = 0; lev <= finest; ++lev) {
+        LevelIn& in = input[static_cast<std::size_t>(lev)];
+        const BoxArray ba(std::move(in.boxes));
+        const DistributionMapping dm(std::move(in.owners), numRanks());
         setLevel(lev, ba, dm);
         setFinestLevel(lev);
         defineLevelData(lev, ba, dm);
-        std::ifstream bin(dir + "/level" + std::to_string(lev) + ".bin",
-                          std::ios::binary);
-        if (!bin) throw std::runtime_error("missing checkpoint level data");
+        std::size_t idx = 0;
         for (int f = 0; f < U_[lev].numFabs(); ++f) {
             auto a = U_[lev].array(f);
             amr::forEachCell(U_[lev].validBox(f), [&](int i, int j, int k) {
-                for (int n = 0; n < NCONS; ++n) {
-                    Real v;
-                    bin.read(reinterpret_cast<char*>(&v), sizeof(Real));
-                    a(i, j, k, n) = v;
-                }
+                for (int n = 0; n < NCONS; ++n) a(i, j, k, n) = in.vals[idx++];
             });
         }
     }

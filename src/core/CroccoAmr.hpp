@@ -11,6 +11,9 @@
 #include "core/Weno.hpp"
 #include "mesh/CoordStore.hpp"
 #include "perf/TinyProfiler.hpp"
+#include "resilience/FaultInjector.hpp"
+#include "resilience/Health.hpp"
+#include "resilience/RestartManager.hpp"
 
 #include <functional>
 #include <memory>
@@ -55,8 +58,19 @@ public:
         mesh::CoordStore::Mode coordMode = mesh::CoordStore::Mode::Memory;
         std::string coordFileDir = ".";
         int nranks = 1;
+        /// Health-check + rollback/retry policy applied by step().
+        resilience::GuardConfig guard;
 
         static Config forVersion(CodeVersion v);
+    };
+
+    /// Resilience policy of evolve(): periodic checkpoints through a
+    /// RestartManager and automatic recovery from SolverDivergence by
+    /// restoring the newest good checkpoint and replaying.
+    struct EvolveOptions {
+        resilience::RestartManager* restart = nullptr;
+        int checkpointEvery = 0; ///< steps between checkpoints (0 = off)
+        int maxRecoveries = 1;   ///< restore attempts before rethrowing
     };
 
     CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
@@ -67,8 +81,26 @@ public:
     void init(InitFunct initialCondition, amr::PhysBCFunct physBC);
 
     /// One pass of Algorithm 1's loop body: (maybe) Regrid, ComputeDt, RK3.
+    /// With Config::guard enabled, the advanced state is health-checked and
+    /// the step rolled back and retried with dt * guard.dtBackoff on
+    /// corruption, up to guard.maxRetries; exhaustion restores the pre-step
+    /// state and throws resilience::SolverDivergence.
     void step();
     void evolve(int nsteps);
+    /// evolve with periodic checkpointing and divergence auto-recovery.
+    void evolve(int nsteps, const EvolveOptions& opts);
+
+    /// Attach a (test) fault injector; non-owning, nullptr detaches.
+    void setFaultInjector(resilience::FaultInjector* injector) {
+        faultInjector_ = injector;
+    }
+
+    /// Health report of the last completed (healthy) step.
+    const resilience::HealthReport& lastHealth() const { return lastHealth_; }
+    /// Rollback/retry attempts performed over the solver's lifetime.
+    int rollbackCount() const { return rollbackCount_; }
+    /// Checkpoint-restore recoveries performed by evolve() overloads.
+    int recoveryCount() const { return recoveryCount_; }
 
     Real time() const { return time_; }
     int stepCount() const { return step_; }
@@ -98,11 +130,19 @@ public:
     /// conserved fields — into `dir` (header + one binary file per level).
     /// Coordinates and metrics are *not* stored: they are regenerated from
     /// the CoordStore on restart, exactly as Regrid would (§III-C).
+    /// Hardened (format v2): each level file carries a CRC32 + byte count
+    /// in the header, and the whole checkpoint is staged into a temporary
+    /// directory and renamed into place so a crash mid-write never leaves a
+    /// half-written checkpoint under `dir`.
     void writeCheckpoint(const std::string& dir) const;
 
     /// Restore a checkpoint into a freshly constructed solver (same Config,
     /// geometry and mapping; do not call init() first). `ic`/`bc` supply the
     /// initial-condition and boundary functors the continued run needs.
+    /// Reads both format v2 (CRC-verified) and legacy v1. All level files
+    /// are read and verified *before* any solver state is mutated; a
+    /// truncated or corrupt file throws resilience::CheckpointCorruption
+    /// naming the offending level file.
     void readCheckpoint(const std::string& dir, InitFunct ic,
                         amr::PhysBCFunct bc);
 
@@ -140,6 +180,11 @@ private:
     Real time_ = 0.0;
     Real dt_ = 0.0;
     int step_ = 0;
+
+    resilience::FaultInjector* faultInjector_ = nullptr;
+    resilience::HealthReport lastHealth_;
+    int rollbackCount_ = 0;
+    int recoveryCount_ = 0;
 };
 
 } // namespace crocco::core

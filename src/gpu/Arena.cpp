@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace crocco::gpu {
 
@@ -18,7 +19,15 @@ void Arena::allocate(std::int64_t bytes) {
 }
 
 void Arena::release(std::int64_t bytes) {
-    assert(bytes >= 0 && bytes <= inUse_);
+    // An assert would compile out under NDEBUG and let the accounting go
+    // silently negative (making every later wouldFit() lie); over-release
+    // is a double-free-class bug and must be loud in release builds too.
+    if (bytes < 0 || bytes > inUse_) {
+        throw std::logic_error(
+            "Arena::release of " + std::to_string(bytes) + " B with only " +
+            std::to_string(inUse_) +
+            " B in use (double release or mismatched allocation accounting)");
+    }
     inUse_ -= bytes;
 }
 

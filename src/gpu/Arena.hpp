@@ -26,6 +26,9 @@ public:
 
     /// Register an allocation; throws OutOfDeviceMemory on overflow.
     void allocate(std::int64_t bytes);
+    /// Release a prior allocation; throws std::logic_error on over-release
+    /// (releasing more than is in use, or a negative size) so accounting
+    /// bugs surface in release builds instead of corrupting inUse().
     void release(std::int64_t bytes);
 
     std::int64_t inUse() const { return inUse_; }

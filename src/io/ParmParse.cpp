@@ -191,6 +191,15 @@ core::CroccoAmr::Config ParmParse::makeConfig(core::CroccoAmr::Config cfg) const
     query("gas.r", cfg.gas.Rgas);
     query("gas.mu_ref", cfg.gas.muRef);
     query("gas.prandtl", cfg.gas.prandtl);
+
+    query("resilience.health_checks", cfg.guard.enabled);
+    query("resilience.max_retries", cfg.guard.maxRetries);
+    query("resilience.dt_backoff", cfg.guard.dtBackoff);
+    query("resilience.max_faults_reported", cfg.guard.maxFaultsReported);
+    if (cfg.guard.maxRetries < 0)
+        throw std::runtime_error("resilience.max_retries: must be >= 0");
+    if (cfg.guard.dtBackoff <= 0.0 || cfg.guard.dtBackoff >= 1.0)
+        throw std::runtime_error("resilience.dt_backoff: must be in (0, 1)");
     return cfg;
 }
 

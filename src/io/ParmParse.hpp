@@ -53,7 +53,9 @@ public:
     ///   crocco.kernel_variant (portable|fortran),
     ///   crocco.interp (curvilinear|trilinear|weno|conservative),
     ///   crocco.tagging (density|momentum|vorticity), crocco.tag_threshold,
-    ///   crocco.les_cs, gas.gamma, gas.r, gas.mu_ref, gas.prandtl.
+    ///   crocco.les_cs, gas.gamma, gas.r, gas.mu_ref, gas.prandtl,
+    ///   resilience.health_checks, resilience.max_retries (>= 0),
+    ///   resilience.dt_backoff (in (0,1)), resilience.max_faults_reported.
     /// Unset keys keep the passed-in defaults.
     core::CroccoAmr::Config makeConfig(core::CroccoAmr::Config defaults = {}) const;
 

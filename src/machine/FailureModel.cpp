@@ -1,0 +1,43 @@
+#include "machine/FailureModel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace crocco::machine {
+
+double FailureModel::systemMtbf(int nodes) const {
+    assert(nodes >= 1);
+    return nodeMtbfHours * 3600.0 / static_cast<double>(nodes);
+}
+
+double FailureModel::checkpointWriteTime(std::int64_t bytes, int nodes) const {
+    const double bw = std::min(fsAggregateBandwidth,
+                               fsPerNodeBandwidth * static_cast<double>(nodes));
+    return static_cast<double>(bytes) / bw;
+}
+
+double FailureModel::dalyInterval(double delta, double mtbf) {
+    // Daly 2006, eq. (20): for delta < 2M,
+    //   tau = sqrt(2 delta M) [1 + (1/3) sqrt(delta/2M) + (1/9)(delta/2M)]
+    //         - delta,
+    // degrading to tau = M when the dump costs more than 2M.
+    if (delta <= 0.0) return mtbf;
+    if (delta >= 2.0 * mtbf) return mtbf;
+    const double x = delta / (2.0 * mtbf);
+    return std::sqrt(2.0 * delta * mtbf) *
+               (1.0 + std::sqrt(x) / 3.0 + x / 9.0) -
+           delta;
+}
+
+double FailureModel::wasteFraction(double delta, double mtbf) const {
+    const double tau = dalyInterval(delta, mtbf);
+    const double cycle = tau + delta;
+    // Checkpoint tax: delta out of every cycle. Failure tax: one failure
+    // every mtbf seconds loses half a cycle of work on average plus the
+    // fixed restart penalty.
+    const double f = delta / cycle + (0.5 * cycle + restartPenalty) / mtbf;
+    return std::clamp(f, 0.0, 0.99);
+}
+
+} // namespace crocco::machine

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace crocco::machine {
+
+/// MTBF-based node-failure model with Daly's optimal checkpoint interval
+/// (J. T. Daly, "A higher order estimate of the optimum checkpoint interval
+/// for restart dumps", FGCS 2006). At the paper's 1024-node scale a
+/// several-year per-node MTBF compounds into a system interrupt every day
+/// or two, so long DMR campaigns must checkpoint; this model prices that
+/// overhead so ScalingSimulator::iterationTime can report it.
+struct FailureModel {
+    /// Mean time between failures of ONE node, hours. Summit-class nodes
+    /// (2 P9 + 6 V100 + NVLink + 2 NICs) land in the few-years range.
+    double nodeMtbfHours = 40000.0;
+    /// Aggregate parallel-filesystem bandwidth (Summit's Alpine GPFS:
+    /// ~2.5 TB/s peak), the ceiling for full-machine checkpoint writes.
+    double fsAggregateBandwidth = 2.5e12;
+    /// Per-node injection limit into the filesystem, B/s; caps small runs.
+    double fsPerNodeBandwidth = 12.5e9;
+    /// Fixed cost of one failure beyond lost work: detect, requeue,
+    /// relaunch, reload the checkpoint (seconds).
+    double restartPenalty = 120.0;
+
+    /// System MTBF in seconds: node failures are independent, so the
+    /// machine-level rate scales with node count.
+    double systemMtbf(int nodes) const;
+
+    /// Time to write one checkpoint of `bytes` from `nodes` nodes (delta in
+    /// Daly's notation).
+    double checkpointWriteTime(std::int64_t bytes, int nodes) const;
+
+    /// Daly's higher-order optimum checkpoint interval tau for write time
+    /// `delta` and system MTBF `mtbf` (compute time between checkpoint
+    /// starts, excluding the dump itself).
+    static double dalyInterval(double delta, double mtbf);
+
+    /// Fraction of wall-clock time lost to resilience when checkpointing
+    /// every dalyInterval: dump time, plus expected rework and restart
+    /// cost per failure. First-order model, clamped to [0, 0.99].
+    double wasteFraction(double delta, double mtbf) const;
+};
+
+} // namespace crocco::machine

@@ -294,7 +294,31 @@ RegionTimes ScalingSimulator::iterationTime(const ScalingCase& c) const {
         }
         rt.regrid = tRegrid / params_.regridFreq;
     }
+
+    if (params_.modelFailures) {
+        // Charge the Daly checkpoint + expected-rework waste against each
+        // iteration so that resilience / total() == overheadFraction.
+        const ResilienceStats rs = resilienceStats(c);
+        const double base = rt.total(); // resilience still 0 here
+        rt.resilience = base * rs.overheadFraction / (1.0 - rs.overheadFraction);
+    }
     return rt;
+}
+
+ResilienceStats ScalingSimulator::resilienceStats(const ScalingCase& c) const {
+    ResilienceStats rs;
+    // A checkpoint stores the conserved fields of every active point (what
+    // CroccoAmr::writeCheckpoint serializes); coordinates and metrics are
+    // regenerated on restart.
+    rs.checkpointBytes = buildHierarchy(c).activePoints() * core::NCONS *
+                         static_cast<std::int64_t>(sizeof(double));
+    rs.writeTime = params_.failure.checkpointWriteTime(rs.checkpointBytes,
+                                                       c.nodes);
+    rs.systemMtbf = params_.failure.systemMtbf(c.nodes);
+    rs.optimalInterval = FailureModel::dalyInterval(rs.writeTime, rs.systemMtbf);
+    rs.overheadFraction = params_.failure.wasteFraction(rs.writeTime,
+                                                        rs.systemMtbf);
+    return rs;
 }
 
 } // namespace crocco::machine

@@ -2,6 +2,7 @@
 
 #include "amr/AmrCore.hpp"
 #include "core/CroccoAmr.hpp"
+#include "machine/FailureModel.hpp"
 #include "machine/NetworkModel.hpp"
 #include "machine/SummitMachine.hpp"
 
@@ -41,13 +42,26 @@ struct RegionTimes {
     double computeDt = 0;
     double averageDown = 0;
     double regrid = 0;            ///< amortized per iteration
+    double resilience = 0;        ///< modeled checkpoint + rework overhead,
+                                  ///< amortized per iteration (0 unless
+                                  ///< Params::modelFailures)
 
     double fillPatch() const {
         return fillBoundary + parallelCopy + parallelCopyInterp + interpCompute;
     }
     double total() const {
-        return fillPatch() + advance + update + computeDt + averageDown + regrid;
+        return fillPatch() + advance + update + computeDt + averageDown +
+               regrid + resilience;
     }
+};
+
+/// Failure-aware checkpointing economics of one scaling case (Daly model).
+struct ResilienceStats {
+    std::int64_t checkpointBytes = 0; ///< conserved-state bytes per dump
+    double writeTime = 0;             ///< delta: one dump, seconds
+    double systemMtbf = 0;            ///< M at this node count, seconds
+    double optimalInterval = 0;       ///< tau: Daly-optimal compute interval
+    double overheadFraction = 0;      ///< wall-clock fraction lost
 };
 
 /// One point of the paper's scaling studies (Table I rows, Fig. 5 axes).
@@ -81,6 +95,10 @@ public:
         int regridFreq = 10;
         /// Fraction of a level's bytes that move when regridding.
         double regridMoveFraction = 0.3;
+        /// Node-failure + checkpoint-cost model; only charged against
+        /// iterationTime when modelFailures is set.
+        FailureModel failure;
+        bool modelFailures = false;
     };
 
     ScalingSimulator();
@@ -90,8 +108,16 @@ public:
     /// Build the grid hierarchy metadata for one case.
     HierarchyMeta buildHierarchy(const ScalingCase& c) const;
 
-    /// Modeled wall time of one iteration, by region.
+    /// Modeled wall time of one iteration, by region. With
+    /// Params::modelFailures, RegionTimes::resilience carries the Daly
+    /// checkpoint + rework overhead amortized per iteration, such that
+    /// resilience / total() equals the modeled waste fraction.
     RegionTimes iterationTime(const ScalingCase& c) const;
+
+    /// Checkpoint-interval economics for one case: dump size from the
+    /// hierarchy's active points, write time from the filesystem model,
+    /// MTBF from the node count, and the Daly-optimal interval + waste.
+    ResilienceStats resilienceStats(const ScalingCase& c) const;
 
     /// GPU memory demand per V100 for one case (bytes); compared against
     /// the 16 GB arena to reproduce the paper's problem-size ceiling.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
 
 namespace crocco::parallel {
 
@@ -68,20 +69,36 @@ void logReduction(CommLog& log, int nranks, const std::string& tag,
 }
 } // namespace
 
+namespace {
+// A reduction collects exactly one contribution per rank; anything else is
+// the in-process analogue of an MPI rank-count mismatch. With only an
+// assert this was UB in release builds (*min_element of an empty range) or
+// silently wrong answers.
+void checkPerRank(const std::vector<double>& perRank, int nranks,
+                  const char* fn, const std::string& tag) {
+    if (static_cast<int>(perRank.size()) != nranks) {
+        throw std::invalid_argument(
+            std::string("SimComm::") + fn + " ('" + tag + "'): perRank has " +
+            std::to_string(perRank.size()) + " entries but the communicator " +
+            "has " + std::to_string(nranks) + " ranks");
+    }
+}
+} // namespace
+
 double SimComm::reduceRealMin(const std::vector<double>& perRank, const std::string& tag) {
-    assert(static_cast<int>(perRank.size()) == nranks_);
+    checkPerRank(perRank, nranks_, "reduceRealMin", tag);
     logReduction(log_, nranks_, tag, static_cast<std::int64_t>(sizeof(double)));
     return *std::min_element(perRank.begin(), perRank.end());
 }
 
 double SimComm::reduceRealMax(const std::vector<double>& perRank, const std::string& tag) {
-    assert(static_cast<int>(perRank.size()) == nranks_);
+    checkPerRank(perRank, nranks_, "reduceRealMax", tag);
     logReduction(log_, nranks_, tag, static_cast<std::int64_t>(sizeof(double)));
     return *std::max_element(perRank.begin(), perRank.end());
 }
 
 double SimComm::reduceRealSum(const std::vector<double>& perRank, const std::string& tag) {
-    assert(static_cast<int>(perRank.size()) == nranks_);
+    checkPerRank(perRank, nranks_, "reduceRealSum", tag);
     logReduction(log_, nranks_, tag, static_cast<std::int64_t>(sizeof(double)));
     return std::accumulate(perRank.begin(), perRank.end(), 0.0);
 }

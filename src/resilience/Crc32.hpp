@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crocco::resilience {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range. Used to
+/// protect checkpoint level files against silent corruption (bit rot,
+/// truncated writes). Chainable: pass a previous result as `seed` to extend
+/// a checksum across buffers.
+std::uint32_t crc32(const void* data, std::size_t nbytes,
+                    std::uint32_t seed = 0);
+
+} // namespace crocco::resilience

@@ -1,0 +1,72 @@
+#include "resilience/FaultInjector.hpp"
+
+#include "core/State.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace crocco::resilience {
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::armCellCorruption(int step, Corruption kind) {
+    cellArms_.push_back({step, kind, false, false});
+}
+
+void FaultInjector::armPersistentCorruption(int step, Corruption kind) {
+    cellArms_.push_back({step, kind, true, false});
+}
+
+void FaultInjector::armDtInflation(int step, double factor) {
+    dtArms_.push_back({step, factor, false});
+}
+
+double FaultInjector::perturbDt(int step, double dt) {
+    for (DtArm& a : dtArms_) {
+        if (a.spent || a.step != step) continue;
+        a.spent = true;
+        ++fired_;
+        dt *= a.factor;
+    }
+    return dt;
+}
+
+bool FaultInjector::corruptState(int step, std::vector<amr::MultiFab>& U,
+                                 int finestLevel) {
+    bool any = false;
+    for (CellArm& a : cellArms_) {
+        if (a.spent || a.step != step) continue;
+        if (!a.persistent) a.spent = true;
+        // Pick a target uniformly: level, fab, valid cell.
+        auto pick = [&](int lo, int hi) {
+            return std::uniform_int_distribution<int>(lo, hi)(rng_);
+        };
+        const int lev = pick(0, finestLevel);
+        amr::MultiFab& mf = U[static_cast<std::size_t>(lev)];
+        const int fab = pick(0, mf.numFabs() - 1);
+        const amr::Box& b = mf.validBox(fab);
+        const int i = pick(b.smallEnd(0), b.bigEnd(0));
+        const int j = pick(b.smallEnd(1), b.bigEnd(1));
+        const int k = pick(b.smallEnd(2), b.bigEnd(2));
+        auto u = mf.array(fab);
+        switch (a.kind) {
+            case Corruption::QuietNaN:
+                u(i, j, k, pick(0, core::NCONS - 1)) =
+                    std::numeric_limits<amr::Real>::quiet_NaN();
+                break;
+            case Corruption::Infinity:
+                u(i, j, k, pick(0, core::NCONS - 1)) =
+                    std::numeric_limits<amr::Real>::infinity();
+                break;
+            case Corruption::NegativeDensity:
+                u(i, j, k, core::URHO) =
+                    -std::abs(u(i, j, k, core::URHO)) - 1.0;
+                break;
+        }
+        ++fired_;
+        any = true;
+    }
+    return any;
+}
+
+} // namespace crocco::resilience

@@ -1,0 +1,77 @@
+#pragma once
+
+#include "amr/MultiFab.hpp"
+#include "resilience/Health.hpp"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace crocco::resilience {
+
+/// Deterministic, seeded fault injection for exercising the solver's
+/// rollback/retry and checkpoint-recovery paths in tests. Faults are
+/// *armed* for a specific step; the solver driver calls the hooks at fixed
+/// points of step(), so a given (seed, schedule) reproduces the same fault
+/// in the same cell every run.
+class FaultInjector {
+public:
+    enum class Corruption {
+        QuietNaN,       ///< overwrite one component with NaN
+        Infinity,       ///< overwrite one component with +Inf
+        NegativeDensity ///< force rho to a negative value
+    };
+
+    explicit FaultInjector(std::uint64_t seed = 0xC0FFEEull);
+
+    /// Arm a one-shot corruption of one pseudo-randomly chosen cell,
+    /// applied after the RK3 advance of step `step` (so the health check
+    /// sees it). Consumed on first firing — a rollback/retry of the step
+    /// runs clean, which is how transient (soft-error-like) faults behave.
+    void armCellCorruption(int step, Corruption kind = Corruption::QuietNaN);
+
+    /// Arm a corruption that re-fires on *every* attempt of step `step`
+    /// (including after a checkpoint restore replays it). Models a
+    /// persistent failure and forces SolverDivergence through the guard.
+    void armPersistentCorruption(int step,
+                                 Corruption kind = Corruption::QuietNaN);
+
+    /// Arm a one-shot dt inflation at step `step`: the computed stable dt
+    /// is multiplied by `factor`, driving the explicit RK3 past its CFL
+    /// limit so the shock capture blows up and the guard's dt backoff has
+    /// to walk it back down.
+    void armDtInflation(int step, double factor);
+
+    /// Hook: called once per step() after ComputeDt. Returns the possibly
+    /// inflated dt and consumes the armed fault.
+    double perturbDt(int step, double dt);
+
+    /// Hook: called after each RK3 advance attempt. Corrupts the armed
+    /// cell(s) in place; returns true if anything fired.
+    bool corruptState(int step, std::vector<amr::MultiFab>& U,
+                      int finestLevel);
+
+    /// Total number of faults that have fired (cell corruptions + dt
+    /// inflations).
+    int faultsFired() const { return fired_; }
+
+private:
+    struct CellArm {
+        int step;
+        Corruption kind;
+        bool persistent;
+        bool spent;
+    };
+    struct DtArm {
+        int step;
+        double factor;
+        bool spent;
+    };
+
+    std::mt19937_64 rng_;
+    std::vector<CellArm> cellArms_;
+    std::vector<DtArm> dtArms_;
+    int fired_ = 0;
+};
+
+} // namespace crocco::resilience

@@ -1,0 +1,74 @@
+#include "resilience/StateValidator.hpp"
+
+#include "gpu/Gpu.hpp"
+
+#include <cmath>
+
+namespace crocco::resilience {
+
+using amr::IntVect;
+using core::NCONS;
+using core::UEDEN;
+using core::UMX;
+using core::UMY;
+using core::UMZ;
+using core::URHO;
+
+HealthReport validateState(const amr::MultiFab& U, const core::GasModel& gas,
+                           int level, int maxReported) {
+    HealthReport rep;
+    auto note = [&](int fab, int i, int j, int k, int comp, FaultKind kind,
+                    double value) {
+        ++rep.faultCount;
+        if (static_cast<int>(rep.faults.size()) < maxReported)
+            rep.faults.push_back(
+                {level, fab, IntVect{i, j, k}, comp, kind, value});
+    };
+    for (int f = 0; f < U.numFabs(); ++f) {
+        auto a = U.const_array(f);
+        const amr::Box& b = U.validBox(f);
+        rep.cellsScanned += b.numPts();
+        gpu::ParallelFor(b, [&](int i, int j, int k) {
+            // Fused scan: finiteness of every component, then the decoded
+            // thermodynamic state — one sweep through memory per cell.
+            bool finite = true;
+            for (int n = 0; n < NCONS; ++n) {
+                const double v = a(i, j, k, n);
+                if (std::isnan(v)) {
+                    note(f, i, j, k, n, FaultKind::NotANumber, v);
+                    finite = false;
+                } else if (std::isinf(v)) {
+                    note(f, i, j, k, n, FaultKind::Infinite, v);
+                    finite = false;
+                }
+            }
+            if (!finite) return;
+            const double rho = a(i, j, k, URHO);
+            if (rho <= 0.0) {
+                note(f, i, j, k, URHO, FaultKind::NegativeDensity, rho);
+                return; // pressure decode would divide by rho
+            }
+            const double rinv = 1.0 / rho;
+            const double p = gas.pressure(rho, a(i, j, k, UMX) * rinv,
+                                          a(i, j, k, UMY) * rinv,
+                                          a(i, j, k, UMZ) * rinv,
+                                          a(i, j, k, UEDEN));
+            if (p <= 0.0)
+                note(f, i, j, k, UEDEN, FaultKind::NegativePressure, p);
+        });
+    }
+    return rep;
+}
+
+HealthReport validateHierarchy(const std::vector<amr::MultiFab>& U,
+                               int finestLevel, const core::GasModel& gas,
+                               int maxReported) {
+    HealthReport rep;
+    for (int lev = 0; lev <= finestLevel; ++lev)
+        rep.merge(validateState(U[static_cast<std::size_t>(lev)], gas, lev,
+                                maxReported),
+                  maxReported);
+    return rep;
+}
+
+} // namespace crocco::resilience

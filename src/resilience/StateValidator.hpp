@@ -1,0 +1,26 @@
+#pragma once
+
+#include "amr/MultiFab.hpp"
+#include "core/State.hpp"
+#include "resilience/Health.hpp"
+
+#include <vector>
+
+namespace crocco::resilience {
+
+/// Cheap fused scan over one level's conserved state: one pass per fab
+/// through the gpu::ParallelFor one-thread-per-cell decomposition, checking
+/// every component for NaN/Inf and the decoded thermodynamic state for
+/// negative density/pressure. This is the shock-capturing failure signature
+/// of WENO near strong discontinuities (the paper's DMR regime): blow-ups
+/// first appear as negative density or pressure, then as NaN everywhere.
+HealthReport validateState(const amr::MultiFab& U, const core::GasModel& gas,
+                           int level, int maxReported = 8);
+
+/// Scan levels 0..finestLevel of a hierarchy; reports are merged with the
+/// same fault cap.
+HealthReport validateHierarchy(const std::vector<amr::MultiFab>& U,
+                               int finestLevel, const core::GasModel& gas,
+                               int maxReported = 8);
+
+} // namespace crocco::resilience

@@ -70,6 +70,27 @@ TEST(Arena, RaiiAllocation) {
     EXPECT_EQ(arena.highWater(), 60);
 }
 
+TEST(Arena, OverReleaseThrowsDescriptiveLogicError) {
+    // A plain assert would compile out under NDEBUG and let the accounting
+    // go silently negative; over-release must be loud in release builds.
+    Arena arena(100);
+    arena.allocate(40);
+    try {
+        arena.release(50);
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("50"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("40"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("double release"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(arena.release(-1), std::logic_error);
+    // The failed release left the books intact.
+    EXPECT_EQ(arena.inUse(), 40);
+    arena.release(40);
+    EXPECT_EQ(arena.inUse(), 0);
+}
+
 TEST(Arena, V100CapacityIs16GB) {
     EXPECT_EQ(Arena::v100().capacity(), 16ll * 1024 * 1024 * 1024);
 }

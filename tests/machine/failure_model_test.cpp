@@ -1,0 +1,123 @@
+#include "machine/FailureModel.hpp"
+#include "machine/ScalingSimulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crocco::machine {
+namespace {
+
+TEST(FailureModel, SystemMtbfScalesInverselyWithNodes) {
+    FailureModel fm;
+    const double one = fm.systemMtbf(1);
+    EXPECT_DOUBLE_EQ(one, fm.nodeMtbfHours * 3600.0);
+    EXPECT_DOUBLE_EQ(fm.systemMtbf(1024), one / 1024.0);
+    EXPECT_GT(fm.systemMtbf(4), fm.systemMtbf(256));
+    // At the paper's 1024-node scale a multi-year node MTBF compounds into
+    // a system interrupt within a couple of days.
+    EXPECT_LT(fm.systemMtbf(1024), 3.0 * 24 * 3600);
+}
+
+TEST(FailureModel, CheckpointWriteTimeRespectsBothBandwidthCaps) {
+    FailureModel fm;
+    const std::int64_t bytes = 1'000'000'000'000; // 1 TB dump
+    // Small runs are injection-limited: doubling nodes halves the time.
+    const double t4 = fm.checkpointWriteTime(bytes, 4);
+    const double t8 = fm.checkpointWriteTime(bytes, 8);
+    EXPECT_NEAR(t4 / t8, 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(t4, static_cast<double>(bytes) / (4 * fm.fsPerNodeBandwidth));
+    // Big runs hit the aggregate GPFS ceiling and stop improving.
+    const double tBig = fm.checkpointWriteTime(bytes, 4096);
+    EXPECT_DOUBLE_EQ(tBig, static_cast<double>(bytes) / fm.fsAggregateBandwidth);
+    EXPECT_DOUBLE_EQ(fm.checkpointWriteTime(bytes, 8192), tBig);
+}
+
+TEST(FailureModel, DalyIntervalMatchesLeadingOrderForSmallDelta) {
+    // For delta << M Daly's optimum reduces to sqrt(2 delta M).
+    const double M = 1.0e6, delta = 1.0;
+    EXPECT_NEAR(FailureModel::dalyInterval(delta, M), std::sqrt(2 * delta * M),
+                0.02 * std::sqrt(2 * delta * M));
+    // Degenerate regime delta >= 2M: checkpoint once per MTBF.
+    EXPECT_DOUBLE_EQ(FailureModel::dalyInterval(300.0, 100.0), 100.0);
+    // Interval shrinks as the machine gets less reliable.
+    EXPECT_GT(FailureModel::dalyInterval(10.0, 1e6),
+              FailureModel::dalyInterval(10.0, 1e4));
+}
+
+TEST(FailureModel, WasteFractionGrowsWithScaleAndIsClamped) {
+    FailureModel fm;
+    const double delta = 30.0;
+    const double small = fm.wasteFraction(delta, fm.systemMtbf(4));
+    const double large = fm.wasteFraction(delta, fm.systemMtbf(1024));
+    EXPECT_GT(small, 0.0);
+    EXPECT_GT(large, small);
+    EXPECT_LT(large, 0.10); // modest at Summit-like reliability
+    // A pathological machine (MTBF shorter than the dump) clamps at 0.99.
+    EXPECT_DOUBLE_EQ(fm.wasteFraction(1000.0, 10.0), 0.99);
+}
+
+TEST(ScalingSimulator, ResilienceStatsAreConsistent) {
+    ScalingSimulator sim;
+    ScalingCase c;
+    c.version = core::CodeVersion::V20;
+    c.nodes = 1024;
+    c.equivalentPoints = 1'000'000'000;
+    const ResilienceStats rs = sim.resilienceStats(c);
+    EXPECT_GT(rs.checkpointBytes, 0);
+    // Dump size is the hierarchy's active conserved state.
+    EXPECT_EQ(rs.checkpointBytes,
+              sim.buildHierarchy(c).activePoints() *
+                  static_cast<std::int64_t>(core::NCONS * sizeof(double)));
+    const FailureModel& fm = sim.params().failure;
+    EXPECT_DOUBLE_EQ(rs.writeTime,
+                     fm.checkpointWriteTime(rs.checkpointBytes, c.nodes));
+    EXPECT_DOUBLE_EQ(rs.systemMtbf, fm.systemMtbf(c.nodes));
+    EXPECT_DOUBLE_EQ(rs.optimalInterval,
+                     FailureModel::dalyInterval(rs.writeTime, rs.systemMtbf));
+    EXPECT_GT(rs.overheadFraction, 0.0);
+    EXPECT_LT(rs.overheadFraction, 0.10);
+}
+
+TEST(ScalingSimulator, IterationTimeChargesResilienceOnlyWhenEnabled) {
+    ScalingCase c;
+    c.version = core::CodeVersion::V20;
+    c.nodes = 256;
+    c.equivalentPoints = 500'000'000;
+
+    ScalingSimulator off;
+    const RegionTimes base = off.iterationTime(c);
+    EXPECT_EQ(base.resilience, 0.0);
+
+    ScalingSimulator::Params p;
+    p.modelFailures = true;
+    ScalingSimulator on(p);
+    const RegionTimes rt = on.iterationTime(c);
+    EXPECT_GT(rt.resilience, 0.0);
+    // The charge is calibrated so resilience/total() is the waste fraction.
+    const double frac = on.resilienceStats(c).overheadFraction;
+    EXPECT_NEAR(rt.resilience / rt.total(), frac, 1e-12);
+    // All other regions are untouched by the failure model.
+    EXPECT_NEAR(rt.total() - rt.resilience, base.total(),
+                1e-12 * base.total());
+}
+
+TEST(ScalingSimulator, ResilienceOverheadGrowsWithNodeCount) {
+    ScalingSimulator::Params p;
+    p.modelFailures = true;
+    ScalingSimulator sim(p);
+    double prev = 0.0;
+    for (int nodes : {16, 128, 1024}) {
+        ScalingCase c;
+        c.version = core::CodeVersion::V20;
+        c.nodes = nodes;
+        // Weak scaling: constant work per node, as in the paper's Fig. 5.
+        c.equivalentPoints = static_cast<std::int64_t>(nodes) * 40'000'000;
+        const double frac = sim.resilienceStats(c).overheadFraction;
+        EXPECT_GT(frac, prev);
+        prev = frac;
+    }
+}
+
+} // namespace
+} // namespace crocco::machine

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace crocco::parallel {
 namespace {
 
@@ -10,6 +12,32 @@ TEST(SimComm, ReductionsReturnExactResults) {
     EXPECT_DOUBLE_EQ(comm.reduceRealMin({3.0, 1.0, 2.0, 9.0}, "t"), 1.0);
     EXPECT_DOUBLE_EQ(comm.reduceRealMax({3.0, 1.0, 2.0, 9.0}, "t"), 9.0);
     EXPECT_DOUBLE_EQ(comm.reduceRealSum({1.0, 2.0, 3.0, 4.0}, "t"), 10.0);
+}
+
+TEST(SimComm, ReductionsRejectWrongSizedPerRankVector) {
+    // A silently-wrong reduction (empty vector, or one value per box
+    // instead of per rank) is a classic MPI bug; the guard must name the
+    // operation, the tag, and both sizes.
+    SimComm comm(4);
+    EXPECT_THROW(comm.reduceRealMin({}, "dt"), std::invalid_argument);
+    EXPECT_THROW(comm.reduceRealMax({1.0, 2.0}, "t"), std::invalid_argument);
+    EXPECT_THROW(comm.reduceRealSum(std::vector<double>(5, 1.0), "t"),
+                 std::invalid_argument);
+    try {
+        comm.reduceRealMin(std::vector<double>(3, 1.0), "compute_dt");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("reduceRealMin"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("compute_dt"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("4"), std::string::npos) << msg;
+    }
+    // Failed reductions log no traffic.
+    EXPECT_EQ(comm.log().count(), 0u);
+    // A single-rank "communicator" still accepts its one entry.
+    SimComm solo(1);
+    EXPECT_DOUBLE_EQ(solo.reduceRealSum({2.5}, "t"), 2.5);
 }
 
 TEST(SimComm, ReductionLogsTreeTraffic) {

@@ -1,0 +1,268 @@
+#include "resilience/Crc32.hpp"
+#include "resilience/FaultInjector.hpp"
+#include "resilience/StateValidator.hpp"
+
+#include "core/CroccoAmr.hpp"
+#include "problems/Dmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace crocco::resilience {
+namespace {
+
+using amr::Box;
+using amr::BoxArray;
+using amr::DistributionMapping;
+using amr::IntVect;
+using amr::MultiFab;
+using core::GasModel;
+
+// ------------------------------------------------------------------ CRC32
+
+TEST(Crc32, KnownAnswerAndChaining) {
+    // The canonical CRC-32 check value.
+    const char* s = "123456789";
+    EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+    EXPECT_EQ(crc32(s, 0), 0u);
+    // Chaining across a split must equal one pass.
+    const std::uint32_t first = crc32(s, 4);
+    EXPECT_EQ(crc32(s + 4, 5, first), crc32(s, 9));
+    // One flipped bit changes the checksum.
+    char buf[9];
+    std::copy(s, s + 9, buf);
+    buf[3] ^= 0x10;
+    EXPECT_NE(crc32(buf, 9), crc32(s, 9));
+}
+
+// --------------------------------------------------------- StateValidator
+
+MultiFab makeState(double rho, double e) {
+    const Box b(IntVect::zero(), IntVect{7, 7, 7});
+    BoxArray ba({b});
+    DistributionMapping dm(ba, 1);
+    MultiFab mf(ba, dm, core::NCONS, 0);
+    mf.setVal(0.0);
+    mf.setVal(rho, core::URHO, 1);
+    mf.setVal(e, core::UEDEN, 1);
+    return mf;
+}
+
+TEST(StateValidator, HealthyStatePasses) {
+    MultiFab mf = makeState(1.0, 2.5);
+    const auto rep = validateState(mf, GasModel{}, 0);
+    EXPECT_TRUE(rep.healthy());
+    EXPECT_EQ(rep.faultCount, 0);
+    EXPECT_EQ(rep.cellsScanned, 512);
+    EXPECT_NE(rep.describe().find("healthy"), std::string::npos);
+}
+
+TEST(StateValidator, DetectsNaNWithExactAddress) {
+    MultiFab mf = makeState(1.0, 2.5);
+    mf.array(0)(3, 4, 5, core::UMY) = std::numeric_limits<double>::quiet_NaN();
+    const auto rep = validateState(mf, GasModel{}, 2);
+    ASSERT_FALSE(rep.healthy());
+    ASSERT_EQ(rep.faults.size(), 1u);
+    const CellFault& f = rep.faults[0];
+    EXPECT_EQ(f.kind, FaultKind::NotANumber);
+    EXPECT_EQ(f.level, 2);
+    EXPECT_EQ(f.fabIndex, 0);
+    EXPECT_EQ(f.cell, (IntVect{3, 4, 5}));
+    EXPECT_EQ(f.comp, core::UMY);
+}
+
+TEST(StateValidator, DetectsInfNegativeDensityAndNegativePressure) {
+    MultiFab mf = makeState(1.0, 2.5);
+    auto a = mf.array(0);
+    a(0, 0, 0, core::UEDEN) = std::numeric_limits<double>::infinity();
+    a(1, 0, 0, core::URHO) = -0.25;
+    // Finite but unphysical: kinetic energy exceeds total energy.
+    a(2, 0, 0, core::UMX) = 10.0;
+    const auto rep = validateState(mf, GasModel{}, 0);
+    ASSERT_EQ(rep.faultCount, 3);
+    EXPECT_EQ(rep.faults[0].kind, FaultKind::Infinite);
+    EXPECT_EQ(rep.faults[1].kind, FaultKind::NegativeDensity);
+    EXPECT_EQ(rep.faults[2].kind, FaultKind::NegativePressure);
+    // The report names each kind.
+    const std::string d = rep.describe();
+    EXPECT_NE(d.find("Inf"), std::string::npos);
+    EXPECT_NE(d.find("negative-density"), std::string::npos);
+    EXPECT_NE(d.find("negative-pressure"), std::string::npos);
+}
+
+TEST(StateValidator, FaultReportIsCappedButCountIsNot) {
+    MultiFab mf = makeState(-1.0, 2.5); // every cell has negative density
+    const auto rep = validateState(mf, GasModel{}, 0, /*maxReported=*/4);
+    EXPECT_EQ(rep.faultCount, 512);
+    EXPECT_EQ(rep.faults.size(), 4u);
+    EXPECT_NE(rep.describe().find("more not shown"), std::string::npos);
+}
+
+TEST(StateValidator, HierarchyMergesLevels) {
+    std::vector<MultiFab> U;
+    U.push_back(makeState(1.0, 2.5));
+    U.push_back(makeState(1.0, 2.5));
+    U[1].array(0)(1, 2, 3, core::URHO) = -1.0;
+    const auto rep = validateHierarchy(U, 1, GasModel{});
+    EXPECT_EQ(rep.cellsScanned, 1024);
+    ASSERT_EQ(rep.faultCount, 1);
+    EXPECT_EQ(rep.faults[0].level, 1);
+}
+
+// ----------------------------------------------------------- FaultInjector
+
+TEST(FaultInjector, SeededAndDeterministic) {
+    auto run = [](std::uint64_t seed) {
+        std::vector<MultiFab> U;
+        U.push_back(makeState(1.0, 2.5));
+        FaultInjector inj(seed);
+        inj.armCellCorruption(5, FaultInjector::Corruption::QuietNaN);
+        inj.corruptState(5, U, 0);
+        // Locate the corrupted cell.
+        const auto rep = validateState(U[0], GasModel{}, 0);
+        return rep.faults.at(0);
+    };
+    const CellFault a = run(42), b = run(42), c = run(43);
+    EXPECT_EQ(a.cell, b.cell);
+    EXPECT_EQ(a.comp, b.comp);
+    // A different seed picks a different target (true for these seeds).
+    EXPECT_TRUE(c.cell != a.cell || c.comp != a.comp);
+}
+
+TEST(FaultInjector, OneShotConsumesPersistentRefires) {
+    std::vector<MultiFab> U;
+    U.push_back(makeState(1.0, 2.5));
+    FaultInjector inj(7);
+    inj.armCellCorruption(3);
+    EXPECT_FALSE(inj.corruptState(2, U, 0)); // wrong step: nothing fires
+    EXPECT_TRUE(inj.corruptState(3, U, 0));
+    EXPECT_FALSE(inj.corruptState(3, U, 0)); // spent
+    EXPECT_EQ(inj.faultsFired(), 1);
+
+    FaultInjector pers(7);
+    pers.armPersistentCorruption(3);
+    EXPECT_TRUE(pers.corruptState(3, U, 0));
+    EXPECT_TRUE(pers.corruptState(3, U, 0));
+    EXPECT_EQ(pers.faultsFired(), 2);
+}
+
+TEST(FaultInjector, DtInflationIsOneShot) {
+    FaultInjector inj(1);
+    inj.armDtInflation(4, 8.0);
+    EXPECT_DOUBLE_EQ(inj.perturbDt(3, 0.5), 0.5);
+    EXPECT_DOUBLE_EQ(inj.perturbDt(4, 0.5), 4.0);
+    EXPECT_DOUBLE_EQ(inj.perturbDt(4, 0.5), 0.5);
+}
+
+// ----------------------------------------------- solver rollback and retry
+
+problems::Dmr smallDmr(int maxLevel = 0) {
+    problems::Dmr::Options o;
+    o.nx = 32;
+    o.ny = 8;
+    o.nz = 8;
+    o.maxLevel = maxLevel;
+    return problems::Dmr(o);
+}
+
+TEST(Rollback, TransientCorruptionIsRetriedAndRunCompletes) {
+    // Acceptance: corrupt a cell mid-run; the solver must detect it at the
+    // step's health check, roll back, retry clean, and finish with finite
+    // conserved totals.
+    auto dmr = smallDmr();
+    auto cfg = dmr.solverConfig(core::CodeVersion::V20);
+    ASSERT_TRUE(cfg.guard.enabled); // guard is on by default
+    core::CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping());
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+
+    FaultInjector inj(123);
+    inj.armCellCorruption(2, FaultInjector::Corruption::QuietNaN);
+    solver.setFaultInjector(&inj);
+    solver.evolve(4);
+
+    EXPECT_EQ(solver.stepCount(), 4);
+    EXPECT_EQ(inj.faultsFired(), 1);
+    EXPECT_GE(solver.rollbackCount(), 1);
+    EXPECT_TRUE(solver.lastHealth().healthy());
+    for (const double t : solver.conservedTotals()) EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Rollback, DtInflationIsWalkedBackByBackoff) {
+    // Blow the CFL limit 64x at step 1: the advance must go unstable, and
+    // the guard must halve dt until the step survives.
+    auto dmr = smallDmr();
+    auto cfg = dmr.solverConfig(core::CodeVersion::V20);
+    cfg.guard.maxRetries = 12;
+    core::CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping());
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+
+    core::CroccoAmr clean(dmr.geometry(), cfg, dmr.mapping());
+    clean.init(dmr.initialCondition(), dmr.boundaryConditions());
+    clean.step();
+    const double stableDt = clean.lastDt();
+
+    FaultInjector inj(9);
+    inj.armDtInflation(1, 64.0);
+    solver.setFaultInjector(&inj);
+    solver.evolve(3);
+
+    EXPECT_EQ(solver.stepCount(), 3);
+    EXPECT_GE(solver.rollbackCount(), 1);
+    // The accepted dt of the poisoned step is 64 * 0.5^k of the stable dt;
+    // by completion dt must be back at a stable magnitude.
+    EXPECT_LT(solver.lastDt(), 4.0 * stableDt);
+    for (const double t : solver.conservedTotals()) EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Rollback, PersistentCorruptionThrowsSolverDivergence) {
+    auto dmr = smallDmr();
+    auto cfg = dmr.solverConfig(core::CodeVersion::V20);
+    cfg.guard.maxRetries = 2;
+    core::CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping());
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+
+    FaultInjector inj(5);
+    inj.armPersistentCorruption(1, FaultInjector::Corruption::NegativeDensity);
+    solver.setFaultInjector(&inj);
+    solver.step(); // step 0 is clean
+
+    const auto before = solver.conservedTotals();
+    try {
+        solver.step();
+        FAIL() << "expected SolverDivergence";
+    } catch (const SolverDivergence& e) {
+        EXPECT_EQ(e.step(), 1);
+        EXPECT_FALSE(e.report().healthy());
+        EXPECT_EQ(e.report().faults.at(0).kind, FaultKind::NegativeDensity);
+        EXPECT_NE(std::string(e.what()).find("negative-density"),
+                  std::string::npos);
+    }
+    // The failed step was rolled back: counters unchanged, state restored.
+    EXPECT_EQ(solver.stepCount(), 1);
+    const auto after = solver.conservedTotals();
+    for (int n = 0; n < core::NCONS; ++n) EXPECT_EQ(after[n], before[n]);
+    // It fired on the first attempt plus each of the 2 retries.
+    EXPECT_EQ(inj.faultsFired(), 3);
+}
+
+TEST(Rollback, GuardDisabledLetsCorruptionThrough) {
+    auto dmr = smallDmr();
+    auto cfg = dmr.solverConfig(core::CodeVersion::V20);
+    cfg.guard.enabled = false;
+    core::CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping());
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+    FaultInjector inj(11);
+    inj.armCellCorruption(0, FaultInjector::Corruption::QuietNaN);
+    solver.setFaultInjector(&inj);
+    solver.evolve(2);
+    EXPECT_EQ(solver.rollbackCount(), 0);
+    bool anyNaN = false;
+    for (const double t : solver.conservedTotals())
+        anyNaN = anyNaN || std::isnan(t);
+    EXPECT_TRUE(anyNaN);
+}
+
+} // namespace
+} // namespace crocco::resilience
