@@ -1,6 +1,7 @@
 #include "amr/AmrCore.hpp"
 
 #include "amr/BoxList.hpp"
+#include "amr/CommCache.hpp"
 
 #include <cassert>
 
@@ -40,6 +41,11 @@ std::int64_t AmrCore::equivalentPoints() const {
 }
 
 void AmrCore::setLevel(int lev, const BoxArray& ba, const DistributionMapping& dm) {
+    // A replaced layout retires its comm patterns: regrid (and checkpoint
+    // restore) is the explicit CommCache invalidation point, so a changed
+    // BoxArray can never replay the old level's ghost-exchange descriptors.
+    if (!grids_[lev].empty() && grids_[lev].id() != ba.id())
+        CommCache::instance().invalidate(grids_[lev].id());
     grids_[lev] = ba;
     dmap_[lev] = dm;
 }

@@ -1,15 +1,44 @@
 #include "amr/BoxArray.hpp"
 #include <algorithm>
+#include <atomic>
 
 #include <cassert>
 
 namespace crocco::amr {
 
-BoxArray::BoxArray(std::vector<Box> boxes) : boxes_(std::move(boxes)) {
+std::uint64_t BoxArray::nextId() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
+
+std::uint64_t BoxArray::deriveId(std::uint64_t parent, std::uint32_t op,
+                                 const IntVect& ratio) {
+    if (parent == 0) return 0;
+    // splitmix64 over (parent, op, ratio): the same parent coarsened by the
+    // same ratio always yields the same derived id, so the scratch BoxArrays
+    // FillPatch rebuilds every call key to the same comm-cache entries.
+    std::uint64_t x = parent;
+    auto mix = [&x](std::uint64_t v) {
+        x += 0x9e3779b97f4a7c15ull + v;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        x = z ^ (z >> 31);
+    };
+    mix(op);
+    for (int d = 0; d < SpaceDim; ++d)
+        mix(static_cast<std::uint64_t>(ratio[d]));
+    return x != 0 ? x : 1;
+}
+
+BoxArray::BoxArray(std::vector<Box> boxes)
+    : boxes_(std::move(boxes)), id_(nextId()) {
     for ([[maybe_unused]] const Box& b : boxes_) assert(b.ok());
 }
 
-BoxArray::BoxArray(const Box& single) : boxes_{single} { assert(single.ok()); }
+BoxArray::BoxArray(const Box& single) : boxes_{single}, id_(nextId()) {
+    assert(single.ok());
+}
 
 std::int64_t BoxArray::numPts() const { return totalPts(boxes_); }
 
@@ -86,14 +115,18 @@ BoxArray BoxArray::coarsen(const IntVect& ratio) const {
     std::vector<Box> out;
     out.reserve(boxes_.size());
     for (const Box& b : boxes_) out.push_back(b.coarsen(ratio));
-    return BoxArray(std::move(out));
+    BoxArray ba(std::move(out));
+    ba.id_ = deriveId(id_, 1, ratio);
+    return ba;
 }
 
 BoxArray BoxArray::refine(const IntVect& ratio) const {
     std::vector<Box> out;
     out.reserve(boxes_.size());
     for (const Box& b : boxes_) out.push_back(b.refine(ratio));
-    return BoxArray(std::move(out));
+    BoxArray ba(std::move(out));
+    ba.id_ = deriveId(id_, 2, ratio);
+    return ba;
 }
 
 bool BoxArray::coarsenable(const IntVect& ratio) const {

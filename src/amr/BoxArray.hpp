@@ -16,11 +16,23 @@ namespace crocco::amr {
 /// served by a spatial hash binning boxes into buckets the size of the
 /// largest box, giving O(1) expected lookups independent of box count. The
 /// hash is built lazily and shared between copies.
+///
+/// Every non-empty BoxArray carries a cheap identity id: copies share it,
+/// coarsen/refine derive it deterministically from the parent's, and two
+/// independently built arrays never share one. CommCache keys communication
+/// patterns on these ids (AMReX keys its CommMetaData cache the same way),
+/// so "same id" must imply "same boxes" — the converse may be false, which
+/// only costs a cache miss.
 class BoxArray {
 public:
     BoxArray() = default;
     explicit BoxArray(std::vector<Box> boxes);
     explicit BoxArray(const Box& single);
+
+    /// Identity for comm-pattern caching: 0 for a default-constructed
+    /// (empty) array, unique per constructed array otherwise, preserved by
+    /// copies and derived deterministically by coarsen()/refine().
+    std::uint64_t id() const { return id_; }
 
     int size() const { return static_cast<int>(boxes_.size()); }
     bool empty() const { return boxes_.empty(); }
@@ -61,8 +73,12 @@ private:
         std::unordered_map<IntVect, std::vector<int>> buckets;
     };
     const Hash& hash() const;
+    static std::uint64_t nextId();
+    static std::uint64_t deriveId(std::uint64_t parent, std::uint32_t op,
+                                  const IntVect& ratio);
 
     std::vector<Box> boxes_;
+    std::uint64_t id_ = 0;
     mutable std::shared_ptr<const Hash> hash_; // built lazily, shared by copies
 };
 

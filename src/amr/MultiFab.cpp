@@ -1,9 +1,34 @@
 #include "amr/MultiFab.hpp"
 
+#include "amr/CommCache.hpp"
+#include "gpu/Gpu.hpp"
+
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 namespace crocco::amr {
+
+namespace {
+
+/// RAII profiler region that is a no-op when the cache has no profiler
+/// attached (MultiFab is usable without any perf instrumentation).
+struct MaybeScope {
+    perf::TinyProfiler* prof;
+    const char* name;
+    std::chrono::steady_clock::time_point start;
+    explicit MaybeScope(const char* n)
+        : prof(CommCache::instance().profiler()), name(n),
+          start(std::chrono::steady_clock::now()) {}
+    ~MaybeScope() {
+        if (!prof) return;
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        prof->addTime(name, dt.count());
+    }
+};
+
+} // namespace
 
 MultiFab::MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
                    int ngrow, parallel::SimComm* comm) {
@@ -25,34 +50,74 @@ void MultiFab::define(const BoxArray& ba, const DistributionMapping& dm, int nco
 }
 
 void MultiFab::setVal(Real v) {
-    for (FArrayBox& f : fabs_) f.setVal(v);
+    gpu::ParallelForIndex(numFabs(), [&](int i) { fabs_[i].setVal(v); });
 }
 
 void MultiFab::setVal(Real v, int comp, int ncomp) {
-    for (FArrayBox& f : fabs_) f.setVal(v, f.box(), comp, ncomp);
+    gpu::ParallelForIndex(numFabs(), [&](int i) {
+        fabs_[i].setVal(v, fabs_[i].box(), comp, ncomp);
+    });
+}
+
+void MultiFab::replay(const CommPattern& pattern, const MultiFab& src,
+                      int srcComp, int destComp, int numComp,
+                      const std::string& tag, bool p2p) {
+    // Copies target disjoint dst regions and read only src cells fillBoundary
+    // never writes (valid cells of siblings / a const source MultiFab), so
+    // descriptor order is free — but SimComm recording must match the build
+    // order byte for byte, so the replay stays serial and in order.
+    for (const CopyDescriptor& d : pattern.copies) {
+        fabs_[d.dstFab].copyFrom(src.fab(d.srcFab), d.region, srcComp, destComp,
+                                 numComp, d.shift);
+        if (!comm_) continue;
+        const std::int64_t bytes =
+            d.npts * numComp * static_cast<std::int64_t>(sizeof(Real));
+        const int srcRank = src.distributionMap()[d.srcFab];
+        const int dstRank = dm_[d.dstFab];
+        if (p2p) {
+            comm_->recordP2P(srcRank, dstRank, bytes, tag);
+        } else if (srcRank != dstRank) {
+            comm_->recordMessage(srcRank, dstRank, bytes,
+                                 parallel::MessageKind::ParallelCopy, tag);
+        }
+    }
 }
 
 void MultiFab::fillBoundary(const Geometry& geom) {
     const auto shifts = geom.periodicShifts();
-    for (int i = 0; i < numFabs(); ++i) {
-        // Ghost region of fab i = allocated box minus valid box.
-        for (const Box& g : boxDiff(grownBox(i), ba_[i])) {
-            for (const IntVect& s : shifts) {
-                // A ghost cell at index p is filled from valid cell p + s of
-                // a periodic image (s == 0 covers interior neighbors).
-                for (const auto& [j, isect] : ba_.intersections(g.shift(s))) {
-                    const Box dstRegion = isect.shift(-s);
-                    fabs_[i].copyFrom(fabs_[j], dstRegion, 0, 0, ncomp_, s);
-                    if (comm_) {
-                        comm_->recordP2P(dm_[j], dm_[i],
-                                         isect.numPts() * ncomp_ *
-                                             static_cast<std::int64_t>(sizeof(Real)),
-                                         "FillBoundary");
+    CommCache& cache = CommCache::instance();
+    const CommCache::Key key{ba_.id(), ba_.id(), ngrow_, 0, hashShifts(shifts),
+                             CommCache::FillBoundary};
+    const bool cacheable = cache.enabled() && ba_.id() != 0;
+    if (cacheable) {
+        if (const CommPattern* pat = cache.lookup(key, ba_.size(), ba_.size())) {
+            MaybeScope scope("CommCacheHit");
+            replay(*pat, *this, 0, 0, ncomp_, "FillBoundary", /*p2p=*/true);
+            return;
+        }
+    }
+    CommPattern pattern;
+    {
+        MaybeScope scope("CommCacheBuild");
+        pattern.srcSize = pattern.dstSize = ba_.size();
+        for (int i = 0; i < numFabs(); ++i) {
+            // Ghost region of fab i = allocated box minus valid box.
+            for (const Box& g : boxDiff(grownBox(i), ba_[i])) {
+                for (const IntVect& s : shifts) {
+                    // A ghost cell at index p is filled from valid cell p + s
+                    // of a periodic image (s == 0 covers interior neighbors).
+                    for (const auto& [j, isect] : ba_.intersections(g.shift(s))) {
+                        const Box dstRegion = isect.shift(-s);
+                        pattern.copies.push_back(
+                            {i, j, dstRegion, s, dstRegion.numPts()});
                     }
                 }
             }
         }
     }
+    const CommPattern& stored =
+        cacheable ? cache.insert(key, std::move(pattern)) : pattern;
+    replay(stored, *this, 0, 0, ncomp_, "FillBoundary", /*p2p=*/true);
 }
 
 void MultiFab::parallelCopy(const MultiFab& src, int srcComp, int destComp,
@@ -63,97 +128,141 @@ void MultiFab::parallelCopy(const MultiFab& src, int srcComp, int destComp,
     assert(srcComp + numComp <= src.nComp() && destComp + numComp <= ncomp_);
     std::vector<IntVect> shifts{IntVect::zero()};
     if (geomForPeriodicity) shifts = geomForPeriodicity->periodicShifts();
-    for (int i = 0; i < numFabs(); ++i) {
-        const Box dstRegion = ba_[i].grow(dstNGrow);
-        for (const IntVect& s : shifts) {
-            // A dst cell at index p receives src cell p + s (s != 0 reaches
-            // across a periodic boundary into the domain image). The hash
-            // query is over ungrown boxes, so widen it by srcNGrow and
-            // re-intersect against the grown source box.
-            for (const auto& [j, coarse] : src.boxArray().intersections(
-                     dstRegion.shift(s).grow(srcNGrow))) {
-                const Box isect =
-                    src.boxArray()[j].grow(srcNGrow) & dstRegion.shift(s);
-                if (!isect.ok()) continue;
-                (void)coarse;
-                fabs_[i].copyFrom(src.fab(j), isect.shift(-s), srcComp, destComp,
-                                  numComp, s);
-                if (comm_ && dm_[i] != src.distributionMap()[j]) {
-                    comm_->recordMessage(src.distributionMap()[j], dm_[i],
-                                         isect.numPts() * numComp *
-                                             static_cast<std::int64_t>(sizeof(Real)),
-                                         parallel::MessageKind::ParallelCopy, tag);
+    CommCache& cache = CommCache::instance();
+    const CommCache::Key key{src.boxArray().id(), ba_.id(), dstNGrow, srcNGrow,
+                             hashShifts(shifts), CommCache::ParallelCopy};
+    const bool cacheable =
+        cache.enabled() && ba_.id() != 0 && src.boxArray().id() != 0;
+    if (cacheable) {
+        if (const CommPattern* pat =
+                cache.lookup(key, src.boxArray().size(), ba_.size())) {
+            MaybeScope scope("CommCacheHit");
+            replay(*pat, src, srcComp, destComp, numComp, tag, /*p2p=*/false);
+            return;
+        }
+    }
+    CommPattern pattern;
+    {
+        MaybeScope scope("CommCacheBuild");
+        pattern.srcSize = src.boxArray().size();
+        pattern.dstSize = ba_.size();
+        for (int i = 0; i < numFabs(); ++i) {
+            const Box dstRegion = ba_[i].grow(dstNGrow);
+            for (const IntVect& s : shifts) {
+                // A dst cell at index p receives src cell p + s (s != 0
+                // reaches across a periodic boundary into the domain image).
+                // The hash query is over ungrown boxes, so widen it by
+                // srcNGrow and re-intersect against the grown source box.
+                for (const auto& [j, coarse] : src.boxArray().intersections(
+                         dstRegion.shift(s).grow(srcNGrow))) {
+                    const Box isect =
+                        src.boxArray()[j].grow(srcNGrow) & dstRegion.shift(s);
+                    if (!isect.ok()) continue;
+                    (void)coarse;
+                    pattern.copies.push_back(
+                        {i, j, isect.shift(-s), s, isect.numPts()});
                 }
             }
         }
     }
+    const CommPattern& stored =
+        cacheable ? cache.insert(key, std::move(pattern)) : pattern;
+    replay(stored, src, srcComp, destComp, numComp, tag, /*p2p=*/false);
 }
 
-void MultiFab::mult(Real a, int comp, int numComp) {
+void MultiFab::mult(Real a, int comp, int numComp, int ngrow) {
     assert(comp + numComp <= ncomp_);
-    for (int i = 0; i < numFabs(); ++i) {
+    assert(ngrow >= 0 && ngrow <= ngrow_);
+    gpu::ParallelForIndex(numFabs(), [&](int i) {
         auto arr = fabs_[i].array();
         for (int n = comp; n < comp + numComp; ++n)
-            forEachCell(fabs_[i].box(), [&](int ii, int j, int k) {
+            forEachCell(ba_[i].grow(ngrow), [&](int ii, int j, int k) {
                 arr(ii, j, k, n) *= a;
             });
-    }
+    });
 }
 
 void MultiFab::copy(MultiFab& dst, const MultiFab& src, int srcComp, int destComp,
                     int numComp, int ngrow) {
     assert(dst.boxArray() == src.boxArray());
     assert(ngrow <= dst.nGrow() && ngrow <= src.nGrow());
-    for (int i = 0; i < dst.numFabs(); ++i) {
+    gpu::ParallelForIndex(dst.numFabs(), [&](int i) {
         dst.fabs_[i].copyFrom(src.fab(i), dst.ba_[i].grow(ngrow), srcComp,
                               destComp, numComp);
-    }
+    });
 }
 
 void MultiFab::saxpy(MultiFab& dst, Real a, const MultiFab& src, int srcComp,
                      int destComp, int numComp) {
     assert(dst.boxArray() == src.boxArray());
-    for (int i = 0; i < dst.numFabs(); ++i)
+    gpu::ParallelForIndex(dst.numFabs(), [&](int i) {
         dst.fabs_[i].saxpy(a, src.fab(i), dst.ba_[i], srcComp, destComp, numComp);
+    });
 }
 
+// The reductions below compute one partial per fab (each fab's sweep is the
+// serial Fortran-order loop) and combine the partials in fab-index order.
+// The decomposition and the combination order depend only on the BoxArray,
+// never on the thread count, so results are bitwise identical for every
+// gpu.num_threads setting — the determinism contract of docs/performance.md.
+
 Real MultiFab::min(int comp) const {
+    std::vector<Real> partial(static_cast<std::size_t>(numFabs()),
+                              std::numeric_limits<Real>::infinity());
+    gpu::ParallelForIndex(numFabs(), [&](int i) {
+        partial[static_cast<std::size_t>(i)] = fabs_[i].min(ba_[i], comp);
+    });
     Real m = std::numeric_limits<Real>::infinity();
-    for (int i = 0; i < numFabs(); ++i) m = std::min(m, fabs_[i].min(ba_[i], comp));
+    for (Real p : partial) m = std::min(m, p);
     return m;
 }
 
 Real MultiFab::max(int comp) const {
+    std::vector<Real> partial(static_cast<std::size_t>(numFabs()),
+                              -std::numeric_limits<Real>::infinity());
+    gpu::ParallelForIndex(numFabs(), [&](int i) {
+        partial[static_cast<std::size_t>(i)] = fabs_[i].max(ba_[i], comp);
+    });
     Real m = -std::numeric_limits<Real>::infinity();
-    for (int i = 0; i < numFabs(); ++i) m = std::max(m, fabs_[i].max(ba_[i], comp));
+    for (Real p : partial) m = std::max(m, p);
     return m;
 }
 
 Real MultiFab::sum(int comp) const {
+    std::vector<Real> partial(static_cast<std::size_t>(numFabs()), 0.0);
+    gpu::ParallelForIndex(numFabs(), [&](int i) {
+        partial[static_cast<std::size_t>(i)] = fabs_[i].sum(ba_[i], comp);
+    });
     Real s = 0.0;
-    for (int i = 0; i < numFabs(); ++i) s += fabs_[i].sum(ba_[i], comp);
+    for (Real p : partial) s += p;
     return s;
 }
 
 Real MultiFab::norm2(int comp) const {
-    Real s = 0.0;
-    for (int i = 0; i < numFabs(); ++i) {
+    std::vector<Real> partial(static_cast<std::size_t>(numFabs()), 0.0);
+    gpu::ParallelForIndex(numFabs(), [&](int i) {
         auto a = const_array(i);
+        Real p = 0.0;
         forEachCell(ba_[i], [&](int ii, int j, int k) {
             const Real v = a(ii, j, k, comp);
-            s += v * v;
+            p += v * v;
         });
-    }
+        partial[static_cast<std::size_t>(i)] = p;
+    });
+    Real s = 0.0;
+    for (Real p : partial) s += p;
     return std::sqrt(s);
 }
 
 Real MultiFab::l2Diff(const MultiFab& a, const MultiFab& b, int comp) {
     assert(a.boxArray() == b.boxArray());
-    Real s = 0.0;
-    for (int i = 0; i < a.numFabs(); ++i) {
+    std::vector<Real> partial(static_cast<std::size_t>(a.numFabs()), 0.0);
+    gpu::ParallelForIndex(a.numFabs(), [&](int i) {
         const Real d = FArrayBox::l2Diff(a.fab(i), b.fab(i), a.ba_[i], comp);
-        s += d * d;
-    }
+        partial[static_cast<std::size_t>(i)] = d * d;
+    });
+    Real s = 0.0;
+    for (Real p : partial) s += p;
     return std::sqrt(s);
 }
 

@@ -10,6 +10,8 @@
 
 namespace crocco::amr {
 
+struct CommPattern;
+
 /// A distributed multi-component field: one FArrayBox per box of a
 /// BoxArray, each allocated over its box grown by nGrow ghost cells.
 /// Mirrors amrex::MultiFab.
@@ -53,6 +55,12 @@ public:
     /// honoring the domain periodicity in geom. Ghost cells outside the
     /// domain and not covered by a periodic image are left untouched
     /// (physical BCs fill those; see core::BCFill).
+    ///
+    /// The copy pattern is served by the process-wide CommCache keyed on
+    /// (BoxArray id, nGrow, periodic shifts): the BoxArray hash intersection
+    /// runs once per layout and every later call replays the cached
+    /// descriptors, producing identical copies and identical SimComm
+    /// messages (see docs/performance.md).
     void fillBoundary(const Geometry& geom);
 
     /// General rectangle copy from another MultiFab with a possibly
@@ -62,7 +70,8 @@ public:
     /// the custom curvilinear interpolator.
     /// `srcNGrow` > 0 additionally reads the source's (already filled)
     /// ghost cells — used to gather stored coordinates, whose ghost values
-    /// are globally consistent.
+    /// are globally consistent. Patterns are cached per (src BoxArray id,
+    /// dst BoxArray id, ngrows, periodicity) like fillBoundary's.
     void parallelCopy(const MultiFab& src, int srcComp, int destComp,
                       int numComp, int dstNGrow = 0, int srcNGrow = 0,
                       const std::string& tag = "ParallelCopy",
@@ -72,8 +81,12 @@ public:
     static void copy(MultiFab& dst, const MultiFab& src, int srcComp,
                      int destComp, int numComp, int ngrow);
 
-    /// Scale components in place over valid + ghost cells.
-    void mult(Real a, int comp, int numComp);
+    /// Scale components in place over the valid region grown by `ngrow`
+    /// ghost layers (0 = valid cells only, nGrow() = every allocated cell).
+    /// The scope is explicit because the reductions (sum/norm2) are
+    /// valid-only: scaling ghosts too is harmless before a fillBoundary but
+    /// wrong when ghost data must stay consistent with a previous exchange.
+    void mult(Real a, int comp, int numComp, int ngrow);
 
     /// dst = dst + a*src on the same BoxArray (valid regions).
     static void saxpy(MultiFab& dst, Real a, const MultiFab& src, int srcComp,
@@ -92,6 +105,12 @@ public:
     parallel::SimComm* comm() const { return comm_; }
 
 private:
+    /// Execute a cached/built communication pattern: perform the data copies
+    /// and record the SimComm messages (point-to-point for fillBoundary,
+    /// ParallelCopy messages otherwise) in build order.
+    void replay(const CommPattern& pattern, const MultiFab& src, int srcComp,
+                int destComp, int numComp, const std::string& tag, bool p2p);
+
     BoxArray ba_;
     DistributionMapping dm_;
     int ncomp_ = 0;

@@ -1,6 +1,8 @@
 #include "core/CroccoAmr.hpp"
 
+#include "amr/CommCache.hpp"
 #include "core/Rk3.hpp"
+#include "gpu/Gpu.hpp"
 #include "mesh/GridMetrics.hpp"
 #include "resilience/Crc32.hpp"
 #include "resilience/StateValidator.hpp"
@@ -72,6 +74,22 @@ CroccoAmr::CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
             interp_ = std::make_unique<amr::CellConservativeLinear>();
             break;
     }
+    // Execution-tuning knobs are process-wide (the thread pool and the comm
+    // cache are singletons); the most recently constructed solver wins,
+    // which matches the one-solver-per-process usage of every driver.
+    gpu::setNumThreads(cfg.gpuNumThreads > 0 ? cfg.gpuNumThreads
+                                             : gpu::ThreadPool::defaultNumThreads());
+    auto& cache = amr::CommCache::instance();
+    cache.setEnabled(cfg.commCache);
+    cache.setCapacity(static_cast<std::size_t>(std::max(cfg.commCacheCapacity, 0)));
+    cache.attachProfiler(&prof_);
+}
+
+CroccoAmr::~CroccoAmr() {
+    // The cache holds a non-owning pointer to this solver's profiler; drop
+    // it before the profiler dies so no later MultiFab call dangles.
+    auto& cache = amr::CommCache::instance();
+    if (cache.profiler() == &prof_) cache.attachProfiler(nullptr);
 }
 
 const amr::Interpolater& CroccoAmr::interpolater() const { return *interp_; }
@@ -102,14 +120,14 @@ void CroccoAmr::makeNewLevelFromScratch(int lev, Real /*time*/, const BoxArray& 
     defineLevelData(lev, ba, dm);
     perf::TinyProfiler::Scope scope(prof_, "InitFlow");
     assert(init_);
-    for (int f = 0; f < U_[lev].numFabs(); ++f) {
+    gpu::ParallelForIndex(U_[lev].numFabs(), [&](int f) {
         auto u = U_[lev].array(f);
         auto x = coords_[lev].const_array(f);
         amr::forEachCell(U_[lev].validBox(f), [&](int i, int j, int k) {
             const auto s = init_(x(i, j, k, 0), x(i, j, k, 1), x(i, j, k, 2));
             for (int n = 0; n < NCONS; ++n) u(i, j, k, n) = s[static_cast<std::size_t>(n)];
         });
-    }
+    });
 }
 
 void CroccoAmr::makeNewLevelFromCoarse(int lev, Real time, const BoxArray& ba,
@@ -180,23 +198,27 @@ Real CroccoAmr::computeDtAllLevels() {
 }
 
 void CroccoAmr::computeRhs(int lev, const MultiFab& Sborder, MultiFab& dU) {
+    // Fab-level tiled parallelism: each worker owns whole fabs (disjoint dU
+    // writes, read-only Sborder/metrics, per-call kernel scratch), so every
+    // thread count produces bitwise-identical dU. The profiler scopes stay
+    // outside the parallel region — TinyProfiler is not thread-safe.
     const auto dxi = geom(lev).cellSizeArray();
     static const char* wenoNames[3] = {"WENOx", "WENOy", "WENOz"};
     for (int dir = 0; dir < 3; ++dir) {
         perf::TinyProfiler::Scope scope(prof_, wenoNames[dir]);
-        for (int f = 0; f < dU.numFabs(); ++f) {
+        gpu::ParallelForIndex(dU.numFabs(), [&](int f) {
             wenoFlux(dir, Sborder.const_array(f), metrics_[lev].const_array(f),
                      dU.validBox(f), dU.array(f), dxi[static_cast<std::size_t>(dir)],
                      cfg_.gas, cfg_.scheme, cfg_.variant, cfg_.recon);
-        }
+        });
     }
     if (cfg_.gas.viscous() || cfg_.sgs.active()) {
         perf::TinyProfiler::Scope scope(prof_, "Viscous");
-        for (int f = 0; f < dU.numFabs(); ++f) {
+        gpu::ParallelForIndex(dU.numFabs(), [&](int f) {
             viscousFlux(Sborder.const_array(f), metrics_[lev].const_array(f),
                         dU.validBox(f), dU.array(f), dxi, cfg_.gas, cfg_.variant,
                         cfg_.sgs);
-        }
+        });
     }
 }
 
@@ -213,7 +235,8 @@ void CroccoAmr::rk3Advance() {
             {
                 perf::TinyProfiler::Scope scope(prof_, "Update");
                 // G <- A*G + dt*RHS;  U <- U + B*G.
-                G_[lev].mult(Rk3::A[static_cast<std::size_t>(stage)], 0, NCONS);
+                G_[lev].mult(Rk3::A[static_cast<std::size_t>(stage)], 0, NCONS,
+                             0);
                 MultiFab::saxpy(G_[lev], dt_, dU, 0, 0, NCONS);
                 MultiFab::saxpy(U_[lev], Rk3::B[static_cast<std::size_t>(stage)],
                                 G_[lev], 0, 0, NCONS);

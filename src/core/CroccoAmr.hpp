@@ -58,6 +58,17 @@ public:
         mesh::CoordStore::Mode coordMode = mesh::CoordStore::Mode::Memory;
         std::string coordFileDir = ".";
         int nranks = 1;
+        /// Host worker threads for tiled kernel execution (ParmParse key
+        /// `gpu.num_threads`, env override GPU_NUM_THREADS). 0 = auto
+        /// (env var, else hardware_concurrency); 1 = serial execution
+        /// identical to the pre-threading code path.
+        int gpuNumThreads = 0;
+        /// Communication-pattern caching (`amr.comm_cache`): reuse
+        /// FillBoundary/ParallelCopy copy descriptors across steps instead
+        /// of re-running the BoxArray intersection search every call.
+        bool commCache = true;
+        /// LRU bound on distinct cached patterns (`amr.comm_cache_size`).
+        int commCacheCapacity = 64;
         /// Health-check + rollback/retry policy applied by step().
         resilience::GuardConfig guard;
 
@@ -76,6 +87,7 @@ public:
     CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
               std::shared_ptr<const mesh::Mapping> mapping,
               parallel::SimComm* comm = nullptr);
+    ~CroccoAmr() override;
 
     /// InitGrid + InitGridMetrics + InitFlow of Algorithm 1.
     void init(InitFunct initialCondition, amr::PhysBCFunct physBC);

@@ -1,9 +1,11 @@
 #pragma once
 
 #include "amr/Box.hpp"
+#include "gpu/ThreadPool.hpp"
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace crocco::gpu {
 
@@ -19,18 +21,67 @@ using amr::Box;
 /// that races on scratch produces wrong answers in tests), while the
 /// execution-time cost of running on a V100 is charged separately by
 /// DeviceModel.
+///
+/// Execution is tiled over k-slabs and dispatched onto the deterministic
+/// ThreadPool: with gpu.num_threads > 1 the slabs of one launch run
+/// concurrently, each slab on a fixed thread. Per-cell kernels write
+/// disjoint cells, so results are bitwise identical for every thread count;
+/// reductions combine fixed-decomposition partials in slab order for the
+/// same guarantee. `launch` (whole-box kernels with interior loop-carried
+/// dependencies) is never auto-parallelized.
+
+namespace detail {
+
+/// One k-plane of `box`: the fixed tile decomposition shared by ParallelFor
+/// and the reductions. Independent of the thread count so that reduction
+/// partials (and their combination order) never depend on it.
+inline Box kSlab(const Box& box, int t) {
+    const int k = box.smallEnd(2) + t;
+    return Box({box.smallEnd(0), box.smallEnd(1), k},
+               {box.bigEnd(0), box.bigEnd(1), k});
+}
+
+inline int numKSlabs(const Box& box) { return box.length(2); }
+
+} // namespace detail
 
 /// One logical thread per cell of `box`: f(i, j, k).
 template <typename F>
 inline void ParallelFor(const Box& box, F&& f) {
-    amr::forEachCell(box, f);
+    if (!box.ok()) return;
+    ThreadPool& pool = ThreadPool::instance();
+    if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
+        amr::forEachCell(box, f);
+        return;
+    }
+    pool.run(detail::numKSlabs(box),
+             [&](int t) { amr::forEachCell(detail::kSlab(box, t), f); });
 }
 
 /// One logical thread per (cell, component): f(i, j, k, n).
 template <typename F>
 inline void ParallelFor(const Box& box, int ncomp, F&& f) {
-    for (int n = 0; n < ncomp; ++n)
-        amr::forEachCell(box, [&](int i, int j, int k) { f(i, j, k, n); });
+    if (!box.ok()) return;
+    ThreadPool& pool = ThreadPool::instance();
+    if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
+        for (int n = 0; n < ncomp; ++n)
+            amr::forEachCell(box, [&](int i, int j, int k) { f(i, j, k, n); });
+        return;
+    }
+    const int nk = detail::numKSlabs(box);
+    pool.run(ncomp * nk, [&](int t) {
+        const int n = t / nk;
+        amr::forEachCell(detail::kSlab(box, t % nk),
+                         [&](int i, int j, int k) { f(i, j, k, n); });
+    });
+}
+
+/// Fab/index-level parallelism: f(i) for i in [0, n) — one task per fab of a
+/// MultiFab (or per independent work item). Kernels launched from inside f
+/// run serially on the calling worker (nested launches do not spawn).
+template <typename F>
+inline void ParallelForIndex(int n, F&& f) {
+    ThreadPool::instance().run(n, f);
 }
 
 /// Whole-box launch: the functor receives the box and iterates itself
@@ -42,24 +93,60 @@ inline void launch(const Box& box, F&& f) {
 }
 
 /// Device-wide min-reduction over cells (mirrors amrex::ReduceData /
-/// ReduceOps with ReduceOpMin, used by ComputeDt).
+/// ReduceOps with ReduceOpMin, used by ComputeDt). Per-slab partials are
+/// combined in slab order; min is exact, so the result equals the serial
+/// sweep bitwise for any thread count.
 template <typename F>
 inline double ReduceMin(const Box& box, F&& f) {
     double m = std::numeric_limits<double>::infinity();
-    amr::forEachCell(box, [&](int i, int j, int k) {
-        const double v = f(i, j, k);
-        if (v < m) m = v;
+    if (!box.ok()) return m;
+    ThreadPool& pool = ThreadPool::instance();
+    if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
+        amr::forEachCell(box, [&](int i, int j, int k) {
+            const double v = f(i, j, k);
+            if (v < m) m = v;
+        });
+        return m;
+    }
+    const int nk = detail::numKSlabs(box);
+    std::vector<double> partial(static_cast<std::size_t>(nk),
+                                std::numeric_limits<double>::infinity());
+    pool.run(nk, [&](int t) {
+        double& p = partial[static_cast<std::size_t>(t)];
+        amr::forEachCell(detail::kSlab(box, t), [&](int i, int j, int k) {
+            const double v = f(i, j, k);
+            if (v < p) p = v;
+        });
     });
+    for (double p : partial)
+        if (p < m) m = p;
     return m;
 }
 
 template <typename F>
 inline double ReduceMax(const Box& box, F&& f) {
     double m = -std::numeric_limits<double>::infinity();
-    amr::forEachCell(box, [&](int i, int j, int k) {
-        const double v = f(i, j, k);
-        if (v > m) m = v;
+    if (!box.ok()) return m;
+    ThreadPool& pool = ThreadPool::instance();
+    if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
+        amr::forEachCell(box, [&](int i, int j, int k) {
+            const double v = f(i, j, k);
+            if (v > m) m = v;
+        });
+        return m;
+    }
+    const int nk = detail::numKSlabs(box);
+    std::vector<double> partial(static_cast<std::size_t>(nk),
+                                -std::numeric_limits<double>::infinity());
+    pool.run(nk, [&](int t) {
+        double& p = partial[static_cast<std::size_t>(t)];
+        amr::forEachCell(detail::kSlab(box, t), [&](int i, int j, int k) {
+            const double v = f(i, j, k);
+            if (v > p) p = v;
+        });
     });
+    for (double p : partial)
+        if (p > m) m = p;
     return m;
 }
 

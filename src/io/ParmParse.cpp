@@ -1,5 +1,6 @@
 #include "io/ParmParse.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -191,6 +192,24 @@ core::CroccoAmr::Config ParmParse::makeConfig(core::CroccoAmr::Config cfg) const
     query("gas.r", cfg.gas.Rgas);
     query("gas.mu_ref", cfg.gas.muRef);
     query("gas.prandtl", cfg.gas.prandtl);
+
+    query("gpu.num_threads", cfg.gpuNumThreads);
+    // The GPU_NUM_THREADS environment variable overrides the deck so a
+    // test/bench sweep can rerun the same inputs at different thread counts
+    // without editing them (ctest's *_mt instances rely on this).
+    if (const char* env = std::getenv("GPU_NUM_THREADS")) {
+        try {
+            cfg.gpuNumThreads = std::stoi(env);
+        } catch (const std::exception&) {
+            throw std::runtime_error("GPU_NUM_THREADS: not an integer");
+        }
+    }
+    if (cfg.gpuNumThreads < 0)
+        throw std::runtime_error("gpu.num_threads: must be >= 0 (0 = auto)");
+    query("amr.comm_cache", cfg.commCache);
+    query("amr.comm_cache_size", cfg.commCacheCapacity);
+    if (cfg.commCacheCapacity < 0)
+        throw std::runtime_error("amr.comm_cache_size: must be >= 0");
 
     query("resilience.health_checks", cfg.guard.enabled);
     query("resilience.max_retries", cfg.guard.maxRetries);

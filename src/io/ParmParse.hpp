@@ -54,6 +54,9 @@ public:
     ///   crocco.interp (curvilinear|trilinear|weno|conservative),
     ///   crocco.tagging (density|momentum|vorticity), crocco.tag_threshold,
     ///   crocco.les_cs, gas.gamma, gas.r, gas.mu_ref, gas.prandtl,
+    ///   gpu.num_threads (0 = auto; the GPU_NUM_THREADS environment
+    ///   variable overrides the deck), amr.comm_cache (on|off),
+    ///   amr.comm_cache_size (LRU pattern bound, >= 0),
     ///   resilience.health_checks, resilience.max_retries (>= 0),
     ///   resilience.dt_backoff (in (0,1)), resilience.max_faults_reported.
     /// Unset keys keep the passed-in defaults.

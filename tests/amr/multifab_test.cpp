@@ -107,9 +107,18 @@ TEST(MultiFab, CopyAndSaxpyAndMult) {
     EXPECT_DOUBLE_EQ(b.sum(1), 2.0 * 512);
     MultiFab::saxpy(b, 3.0, a, 0, 0, 2);
     EXPECT_DOUBLE_EQ(b.sum(0), 8.0 * 512);
-    b.mult(0.5, 0, 1);
+    b.mult(0.5, 0, 1, 0);
     EXPECT_DOUBLE_EQ(b.sum(0), 4.0 * 512);
     EXPECT_DOUBLE_EQ(b.sum(1), 8.0 * 512);
+    // Ghost scaling is opt-in via the explicit scope parameter: the valid
+    // sum halves again while the ghost ring (filled below) also scales.
+    b.fillBoundary(Geometry(domain, {0, 0, 0}, {1, 1, 1}, Periodicity::all()));
+    b.mult(0.5, 0, 1, 1);
+    EXPECT_DOUBLE_EQ(b.sum(0), 2.0 * 512);
+    auto arr = b.const_array(0);
+    const Box grown = b.grownBox(0);
+    EXPECT_DOUBLE_EQ(arr(grown.smallEnd(0), grown.smallEnd(1), grown.smallEnd(2), 0),
+                     2.0);
 }
 
 TEST(MultiFab, ParallelCopyAcrossLayouts) {

@@ -12,23 +12,26 @@ namespace {
 using amr::Box;
 using amr::IntVect;
 
+// Visit counts are kept per cell (each cell is written by exactly one
+// logical thread), so these tests are race-free at any gpu.num_threads.
 TEST(ParallelFor, VisitsEveryCellOnce) {
     const Box b(IntVect{1, 2, 3}, IntVect{4, 5, 6});
-    std::int64_t count = 0;
-    IntVect last;
+    std::vector<int> visits(static_cast<std::size_t>(b.numPts()), 0);
     ParallelFor(b, [&](int i, int j, int k) {
-        ++count;
-        last = {i, j, k};
+        ++visits[static_cast<std::size_t>(b.index({i, j, k}))];
     });
-    EXPECT_EQ(count, b.numPts());
-    EXPECT_EQ(last, b.bigEnd());
+    for (int v : visits) EXPECT_EQ(v, 1);
 }
 
 TEST(ParallelFor, ComponentVariant) {
     const Box b(IntVect::zero(), IntVect(2));
-    int count = 0;
-    ParallelFor(b, 4, [&](int, int, int, int) { ++count; });
-    EXPECT_EQ(count, 27 * 4);
+    const int ncomp = 4;
+    std::vector<int> visits(static_cast<std::size_t>(b.numPts() * ncomp), 0);
+    ParallelFor(b, ncomp, [&](int i, int j, int k, int n) {
+        ++visits[static_cast<std::size_t>(n * b.numPts() + b.index({i, j, k}))];
+    });
+    EXPECT_EQ(visits.size(), 27u * 4u);
+    for (int v : visits) EXPECT_EQ(v, 1);
 }
 
 TEST(Reduce, MinAndMax) {

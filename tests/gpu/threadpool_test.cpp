@@ -1,0 +1,162 @@
+#include "gpu/Gpu.hpp"
+#include "gpu/ThreadPool.hpp"
+
+#include "amr/MultiFab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crocco::gpu {
+namespace {
+
+using amr::Box;
+using amr::BoxArray;
+using amr::DistributionMapping;
+using amr::IntVect;
+using amr::MultiFab;
+
+std::vector<Box> tiledBoxes(const Box& domain, int tile) {
+    std::vector<Box> out;
+    for (int k = domain.smallEnd(2); k <= domain.bigEnd(2); k += tile)
+        for (int j = domain.smallEnd(1); j <= domain.bigEnd(1); j += tile)
+            for (int i = domain.smallEnd(0); i <= domain.bigEnd(0); i += tile)
+                out.emplace_back(IntVect{i, j, k},
+                                 IntVect{i + tile - 1, j + tile - 1, k + tile - 1});
+    return out;
+}
+
+/// Restore the process-wide pool size on scope exit so test order and the
+/// GPU_NUM_THREADS ctest instances don't interfere.
+struct ThreadGuard {
+    int saved = numThreads();
+    ~ThreadGuard() { setNumThreads(saved); }
+};
+
+// The determinism contract (docs/performance.md): reductions combine
+// fixed-decomposition partials in a fixed order, so results are bitwise
+// identical — EXPECT_EQ on doubles, not EXPECT_NEAR — for every thread
+// count.
+TEST(ThreadPool, MultiFabReductionsBitwiseIdenticalAcrossThreadCounts) {
+    ThreadGuard guard;
+    const Box domain(IntVect::zero(), IntVect(31));
+    BoxArray ba(tiledBoxes(domain, 8));
+    DistributionMapping dm(ba, 2);
+    MultiFab mf(ba, dm, 2, 1);
+    for (int f = 0; f < mf.numFabs(); ++f) {
+        auto a = mf.array(f);
+        for (int n = 0; n < 2; ++n)
+            amr::forEachCell(mf.validBox(f), [&](int i, int j, int k) {
+                a(i, j, k, n) = std::sin(0.7 * i + 1.3 * j + 2.1 * k + n) * 1e3;
+            });
+    }
+
+    setNumThreads(1);
+    const double norm1 = mf.norm2(0);
+    const double sum1 = mf.sum(1);
+    const double min1 = mf.min(0);
+    const double max1 = mf.max(1);
+
+    for (int nt : {2, 3, 4, 8}) {
+        setNumThreads(nt);
+        EXPECT_EQ(mf.norm2(0), norm1) << "threads=" << nt;
+        EXPECT_EQ(mf.sum(1), sum1) << "threads=" << nt;
+        EXPECT_EQ(mf.min(0), min1) << "threads=" << nt;
+        EXPECT_EQ(mf.max(1), max1) << "threads=" << nt;
+    }
+}
+
+TEST(ThreadPool, ReduceMinBitwiseIdenticalAcrossThreadCounts) {
+    ThreadGuard guard;
+    const Box b(IntVect{-3, 0, 2}, IntVect{12, 9, 17});
+    auto f = [](int i, int j, int k) {
+        return std::cos(0.31 * i) * std::sin(0.17 * j) + 0.05 * k;
+    };
+    setNumThreads(1);
+    const double mn1 = ReduceMin(b, f);
+    const double mx1 = ReduceMax(b, f);
+    for (int nt : {2, 5, 8}) {
+        setNumThreads(nt);
+        EXPECT_EQ(ReduceMin(b, f), mn1) << "threads=" << nt;
+        EXPECT_EQ(ReduceMax(b, f), mx1) << "threads=" << nt;
+    }
+}
+
+TEST(ThreadPool, TaskToThreadAssignmentIsDeterministic) {
+    ThreadGuard guard;
+    setNumThreads(2);
+    const int ntasks = 8;
+    std::vector<std::thread::id> owner(ntasks);
+    ThreadPool::instance().run(ntasks, [&](int t) {
+        owner[static_cast<std::size_t>(t)] = std::this_thread::get_id();
+    });
+    // No work stealing: task t runs on thread t % numThreads, so tasks with
+    // equal parity share a thread and opposite parity never mix.
+    for (int t = 2; t < ntasks; ++t)
+        EXPECT_EQ(owner[static_cast<std::size_t>(t)],
+                  owner[static_cast<std::size_t>(t - 2)]);
+    EXPECT_NE(owner[0], owner[1]);
+}
+
+TEST(ThreadPool, NestedLaunchesSerializeInsteadOfDeadlocking) {
+    ThreadGuard guard;
+    setNumThreads(4);
+    const Box inner(IntVect::zero(), IntVect(3));
+    std::vector<std::int64_t> counts(8, 0);
+    ParallelForIndex(8, [&](int t) {
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        // The nested launch must run serially on this worker (no pool
+        // re-entry), so a plain counter is race-free here.
+        std::int64_t c = 0;
+        ParallelFor(inner, [&](int, int, int) { ++c; });
+        counts[static_cast<std::size_t>(t)] = c;
+    });
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    for (std::int64_t c : counts) EXPECT_EQ(c, inner.numPts());
+}
+
+TEST(ThreadPool, ExceptionInTaskPropagatesToCaller) {
+    ThreadGuard guard;
+    setNumThreads(3);
+    EXPECT_THROW(ThreadPool::instance().run(
+                     6,
+                     [&](int t) {
+                         if (t == 4) throw std::runtime_error("task 4 failed");
+                     }),
+                 std::runtime_error);
+    // The pool survives a throwing job and runs the next one.
+    std::vector<int> seen(5, 0);
+    ThreadPool::instance().run(5, [&](int t) { seen[static_cast<std::size_t>(t)] = 1; });
+    for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsTasksInOrderOnCaller) {
+    ThreadGuard guard;
+    setNumThreads(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<int> order;
+    ThreadPool::instance().run(5, [&](int t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(t);
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, DefaultHonorsEnvironmentOverride) {
+    // defaultNumThreads reads GPU_NUM_THREADS each call — the hook the
+    // GPU_NUM_THREADS=4 ctest instances and ParmParse rely on.
+    const char* old = std::getenv("GPU_NUM_THREADS");
+    const std::string saved = old ? old : "";
+    ::setenv("GPU_NUM_THREADS", "7", 1);
+    EXPECT_EQ(ThreadPool::defaultNumThreads(), 7);
+    if (old) ::setenv("GPU_NUM_THREADS", saved.c_str(), 1);
+    else ::unsetenv("GPU_NUM_THREADS");
+    EXPECT_GE(ThreadPool::defaultNumThreads(), 1);
+}
+
+} // namespace
+} // namespace crocco::gpu
