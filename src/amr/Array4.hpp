@@ -2,6 +2,14 @@
 
 #include "amr/Box.hpp"
 
+#ifdef CROCCO_CHECK
+#include "check/FabShadow.hpp"
+#include "check/RaceDetector.hpp"
+
+#include <source_location>
+#include <type_traits>
+#endif
+
 #include <cassert>
 #include <cstdint>
 
@@ -13,6 +21,15 @@ using Real = double;
 /// component index, Fortran (i-fastest) layout with components outermost.
 /// Mirrors amrex::Array4 — the type numerics kernels receive, valid on both
 /// the host and the (simulated) device.
+///
+/// Under -DCROCCO_CHECK the view additionally carries a pointer to the
+/// owning FArrayBox's shadow validity map: every access is bounds-checked,
+/// const accesses must read Valid cells (never-filled or stale ghost reads
+/// abort with the callsite), mutable accesses mark the cell Valid, and both
+/// are charged to the running ThreadPool task for the launch-level race
+/// detector. CROCCO_CHECK is a whole-build option, so all translation units
+/// agree on the struct layout. With the flag off this file compiles to the
+/// seed's unchecked accessor.
 template <typename T>
 struct Array4 {
     T* p = nullptr;
@@ -25,6 +42,12 @@ struct Array4 {
     /// NDEBUG, or mixed-configuration links would see different layouts);
     /// only the bounds *checks* compile away in release builds.
     IntVect hi;
+#ifdef CROCCO_CHECK
+    using ShadowPtr = std::conditional_t<std::is_const_v<T>,
+                                         const check::FabShadow*,
+                                         check::FabShadow*>;
+    ShadowPtr shadow = nullptr;
+#endif
 
     Array4() = default;
 
@@ -36,6 +59,13 @@ struct Array4 {
           nstride(b.numPts()),
           ncomp(ncomponents),
           hi(b.bigEnd()) {}
+
+#ifdef CROCCO_CHECK
+    Array4(T* ptr, const Box& b, int ncomponents, ShadowPtr sh)
+        : Array4(ptr, b, ncomponents) {
+        shadow = sh;
+    }
+#endif
 
     /// Implicit conversion to a const view.
     operator Array4<const T>() const
@@ -49,9 +79,34 @@ struct Array4 {
         a.nstride = nstride;
         a.ncomp = ncomp;
         a.hi = hi;
+#ifdef CROCCO_CHECK
+        a.shadow = shadow;
+#endif
         return a;
     }
 
+#ifdef CROCCO_CHECK
+    T& operator()(int i, int j, int k, int n = 0,
+                  const std::source_location& loc =
+                      std::source_location::current()) const {
+        if (p == nullptr || i < lo[0] || i > hi[0] || j < lo[1] || j > hi[1] ||
+            k < lo[2] || k > hi[2] || n < 0 || n >= ncomp) {
+            check::failBounds(p == nullptr, i, j, k, n, lo, hi, ncomp, shadow,
+                              loc);
+            return check::dummyCell<T>(); // only reached in warn/capture mode
+        }
+        if (shadow) {
+            if constexpr (std::is_const_v<T>) {
+                shadow->checkRead(i, j, k, n, loc);
+            } else {
+                shadow->noteWrite(i, j, k, n);
+            }
+            check::recordAccess(shadow, i, j, k, n, !std::is_const_v<T>);
+        }
+        return p[(i - lo[0]) + jstride * (j - lo[1]) + kstride * (k - lo[2]) +
+                 nstride * n];
+    }
+#else
     T& operator()(int i, int j, int k, int n = 0) const {
 #ifndef NDEBUG
         assert(p != nullptr);
@@ -63,6 +118,7 @@ struct Array4 {
         return p[(i - lo[0]) + jstride * (j - lo[1]) + kstride * (k - lo[2]) +
                  nstride * n];
     }
+#endif
 
     bool valid() const { return p != nullptr; }
 };

@@ -22,6 +22,10 @@ struct CopyDescriptor {
     Box region;
     IntVect shift;
     std::int64_t npts = 0; ///< region.numPts(), cached for message sizing
+
+    /// Field-wise equality — the byte-identity the check build's replay
+    /// guard asserts between a cached pattern and its re-derivation.
+    bool operator==(const CopyDescriptor&) const = default;
 };
 
 /// A full communication pattern plus cheap validation fields (guards the
@@ -30,6 +34,8 @@ struct CommPattern {
     std::vector<CopyDescriptor> copies;
     int srcSize = 0; ///< boxes in the source BoxArray when built
     int dstSize = 0; ///< boxes in the destination BoxArray when built
+
+    bool operator==(const CommPattern&) const = default;
 };
 
 /// Process-wide LRU cache of communication patterns, mirroring AMReX's

@@ -1,5 +1,7 @@
 #include "amr/FArrayBox.hpp"
 
+#include "gpu/Arena.hpp"
+
 #include <cassert>
 #include <cmath>
 
@@ -8,8 +10,39 @@ namespace crocco::amr {
 FArrayBox::FArrayBox(const Box& b, int ncomp, Real initial)
     : box_(b), ncomp_(ncomp), data_(static_cast<std::size_t>(b.numPts()) * ncomp, initial) {
     assert(b.ok() && ncomp >= 1);
+#ifdef CROCCO_CHECK
+    // A bare fab's storage is value-initialized above, so the whole
+    // allocation is genuinely Valid until markUninitialized() says otherwise.
+    shadow_.define(box_, box_, ncomp_, check::FabShadow::Valid);
+#endif
 }
 
+void FArrayBox::markUninitialized(const Box& validBox) {
+#ifdef CROCCO_CHECK
+    shadow_.define(box_, validBox, ncomp_, check::FabShadow::Uninit);
+    gpu::Arena::poisonFresh(data_.data(), data_.size());
+#else
+    (void)validBox;
+#endif
+}
+
+void FArrayBox::invalidateGhostShadow() {
+#ifdef CROCCO_CHECK
+    shadow_.invalidateGhosts();
+#endif
+}
+
+#ifdef CROCCO_CHECK
+// Route the index-wise accessors through the instrumented views so they get
+// the same bounds/validity/race treatment as kernel accesses.
+Real& FArrayBox::operator()(const IntVect& p, int n) {
+    return array()(p[0], p[1], p[2], n);
+}
+
+Real FArrayBox::operator()(const IntVect& p, int n) const {
+    return const_array()(p[0], p[1], p[2], n);
+}
+#else
 Real& FArrayBox::operator()(const IntVect& p, int n) {
     assert(box_.contains(p) && n >= 0 && n < ncomp_);
     return data_[static_cast<std::size_t>(box_.index(p) + box_.numPts() * n)];
@@ -19,9 +52,13 @@ Real FArrayBox::operator()(const IntVect& p, int n) const {
     assert(box_.contains(p) && n >= 0 && n < ncomp_);
     return data_[static_cast<std::size_t>(box_.index(p) + box_.numPts() * n)];
 }
+#endif
 
 void FArrayBox::setVal(Real v) {
     for (Real& x : data_) x = v;
+#ifdef CROCCO_CHECK
+    shadow_.markAll(check::FabShadow::Valid);
+#endif
 }
 
 void FArrayBox::setVal(Real v, const Box& region, int comp, int ncomp) {

@@ -3,6 +3,10 @@
 #include "amr/Array4.hpp"
 #include "amr/Box.hpp"
 
+#ifdef CROCCO_CHECK
+#include "check/FabShadow.hpp"
+#endif
+
 #include <vector>
 
 namespace crocco::amr {
@@ -10,6 +14,12 @@ namespace crocco::amr {
 /// A multi-component array of Reals defined over a Box (including any ghost
 /// region — the box here is the *allocated* region). Mirrors
 /// amrex::FArrayBox: Fortran-order storage, components outermost.
+///
+/// Check builds attach a check::FabShadow validity map: a bare fab starts
+/// fully Valid (its storage is value-initialized), while MultiFab::define
+/// calls markUninitialized() to poison the data and reset the map, so the
+/// first read of any never-filled cell is caught. The views returned by
+/// array()/const_array() carry the shadow into kernels.
 class FArrayBox {
 public:
     FArrayBox() = default;
@@ -19,8 +29,15 @@ public:
     int nComp() const { return ncomp_; }
     std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
 
+#ifdef CROCCO_CHECK
+    Array4<Real> array() { return {data_.data(), box_, ncomp_, &shadow_}; }
+    Array4<const Real> const_array() const {
+        return {data_.data(), box_, ncomp_, &shadow_};
+    }
+#else
     Array4<Real> array() { return {data_.data(), box_, ncomp_}; }
     Array4<const Real> const_array() const { return {data_.data(), box_, ncomp_}; }
+#endif
 
     Real& operator()(const IntVect& p, int n = 0);
     Real operator()(const IntVect& p, int n = 0) const;
@@ -48,10 +65,28 @@ public:
 
     bool ok() const { return !data_.empty(); }
 
+    /// Check builds: poison the storage with signaling NaNs and reset the
+    /// shadow map to Uninit with `validBox` as the non-ghost region (called
+    /// by MultiFab::define, where fabs model fresh device allocations).
+    /// No-op without CROCCO_CHECK.
+    void markUninitialized(const Box& validBox);
+
+    /// Check builds: downgrade Valid ghost-region shadow cells to Stale
+    /// after the valid region has been rewritten. No-op without CROCCO_CHECK.
+    void invalidateGhostShadow();
+
+#ifdef CROCCO_CHECK
+    const check::FabShadow& shadowMap() const { return shadow_; }
+    check::FabShadow& shadowMap() { return shadow_; }
+#endif
+
 private:
     Box box_;
     int ncomp_ = 0;
     std::vector<Real> data_;
+#ifdef CROCCO_CHECK
+    check::FabShadow shadow_;
+#endif
 };
 
 } // namespace crocco::amr

@@ -202,6 +202,10 @@ void AverageDown(const MultiFab& fine, MultiFab& crse, const IntVect& ratio,
             }
         }
     }
+    // Restriction rewrote coarse valid cells under the fine level, so any
+    // coarse ghost data is out of date until the next exchange (check-build
+    // shadow bookkeeping; no-op otherwise).
+    crse.invalidateGhosts();
 }
 
 } // namespace crocco::amr

@@ -1,11 +1,13 @@
 #include "amr/MultiFab.hpp"
 
 #include "amr/CommCache.hpp"
+#include "check/Check.hpp"
 #include "gpu/Gpu.hpp"
 
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <sstream>
 
 namespace crocco::amr {
 
@@ -47,6 +49,19 @@ void MultiFab::define(const BoxArray& ba, const DistributionMapping& dm, int nco
     fabs_.clear();
     fabs_.reserve(ba.size());
     for (int i = 0; i < ba.size(); ++i) fabs_.emplace_back(ba[i].grow(ngrow), ncomp);
+    if constexpr (check::enabled) {
+        // MultiFab storage models fresh device allocations: poison it and
+        // start the shadow maps at Uninit so never-filled reads are caught
+        // (bare FArrayBoxes — kernel scratch — stay value-initialized).
+        for (int i = 0; i < ba.size(); ++i)
+            fabs_[static_cast<std::size_t>(i)].markUninitialized(ba[i]);
+    }
+}
+
+void MultiFab::invalidateGhosts() {
+    if constexpr (check::enabled) {
+        for (auto& f : fabs_) f.invalidateGhostShadow();
+    }
 }
 
 void MultiFab::setVal(Real v) {
@@ -83,6 +98,53 @@ void MultiFab::replay(const CommPattern& pattern, const MultiFab& src,
     }
 }
 
+namespace {
+
+/// Check-build replay guard: a sampled cache hit re-derives the pattern and
+/// requires it byte-identical to the cached descriptors — the invariant the
+/// CommCache invalidation rules promise (docs/performance.md). A mismatch
+/// means a stale pattern survived a layout change.
+void verifyReplay(const CommPattern& cached, const CommPattern& rebuilt,
+                  const char* what) {
+    if (cached == rebuilt) return;
+    std::ostringstream os;
+    os << what << " cache replay diverges from re-derivation: cached "
+       << cached.copies.size() << " copies (srcSize=" << cached.srcSize
+       << ", dstSize=" << cached.dstSize << "), rebuilt "
+       << rebuilt.copies.size() << " copies (srcSize=" << rebuilt.srcSize
+       << ", dstSize=" << rebuilt.dstSize << ")";
+    for (std::size_t c = 0;
+         c < cached.copies.size() && c < rebuilt.copies.size(); ++c) {
+        if (cached.copies[c] == rebuilt.copies[c]) continue;
+        os << "; first differing descriptor at index " << c;
+        break;
+    }
+    check::fail(check::Kind::CommCache, os.str());
+}
+
+} // namespace
+
+CommPattern MultiFab::buildFillBoundaryPattern(
+    const std::vector<IntVect>& shifts) const {
+    CommPattern pattern;
+    pattern.srcSize = pattern.dstSize = ba_.size();
+    for (int i = 0; i < numFabs(); ++i) {
+        // Ghost region of fab i = allocated box minus valid box.
+        for (const Box& g : boxDiff(grownBox(i), ba_[i])) {
+            for (const IntVect& s : shifts) {
+                // A ghost cell at index p is filled from valid cell p + s
+                // of a periodic image (s == 0 covers interior neighbors).
+                for (const auto& [j, isect] : ba_.intersections(g.shift(s))) {
+                    const Box dstRegion = isect.shift(-s);
+                    pattern.copies.push_back(
+                        {i, j, dstRegion, s, dstRegion.numPts()});
+                }
+            }
+        }
+    }
+    return pattern;
+}
+
 void MultiFab::fillBoundary(const Geometry& geom) {
     const auto shifts = geom.periodicShifts();
     CommCache& cache = CommCache::instance();
@@ -91,6 +153,9 @@ void MultiFab::fillBoundary(const Geometry& geom) {
     const bool cacheable = cache.enabled() && ba_.id() != 0;
     if (cacheable) {
         if (const CommPattern* pat = cache.lookup(key, ba_.size(), ba_.size())) {
+            if (check::enabled && check::commGuardShouldVerify())
+                verifyReplay(*pat, buildFillBoundaryPattern(shifts),
+                             "FillBoundary");
             MaybeScope scope("CommCacheHit");
             replay(*pat, *this, 0, 0, ncomp_, "FillBoundary", /*p2p=*/true);
             return;
@@ -99,21 +164,7 @@ void MultiFab::fillBoundary(const Geometry& geom) {
     CommPattern pattern;
     {
         MaybeScope scope("CommCacheBuild");
-        pattern.srcSize = pattern.dstSize = ba_.size();
-        for (int i = 0; i < numFabs(); ++i) {
-            // Ghost region of fab i = allocated box minus valid box.
-            for (const Box& g : boxDiff(grownBox(i), ba_[i])) {
-                for (const IntVect& s : shifts) {
-                    // A ghost cell at index p is filled from valid cell p + s
-                    // of a periodic image (s == 0 covers interior neighbors).
-                    for (const auto& [j, isect] : ba_.intersections(g.shift(s))) {
-                        const Box dstRegion = isect.shift(-s);
-                        pattern.copies.push_back(
-                            {i, j, dstRegion, s, dstRegion.numPts()});
-                    }
-                }
-            }
-        }
+        pattern = buildFillBoundaryPattern(shifts);
     }
     const CommPattern& stored =
         cacheable ? cache.insert(key, std::move(pattern)) : pattern;
@@ -136,6 +187,11 @@ void MultiFab::parallelCopy(const MultiFab& src, int srcComp, int destComp,
     if (cacheable) {
         if (const CommPattern* pat =
                 cache.lookup(key, src.boxArray().size(), ba_.size())) {
+            if (check::enabled && check::commGuardShouldVerify())
+                verifyReplay(
+                    *pat,
+                    buildParallelCopyPattern(src, dstNGrow, srcNGrow, shifts),
+                    "ParallelCopy");
             MaybeScope scope("CommCacheHit");
             replay(*pat, src, srcComp, destComp, numComp, tag, /*p2p=*/false);
             return;
@@ -144,30 +200,38 @@ void MultiFab::parallelCopy(const MultiFab& src, int srcComp, int destComp,
     CommPattern pattern;
     {
         MaybeScope scope("CommCacheBuild");
-        pattern.srcSize = src.boxArray().size();
-        pattern.dstSize = ba_.size();
-        for (int i = 0; i < numFabs(); ++i) {
-            const Box dstRegion = ba_[i].grow(dstNGrow);
-            for (const IntVect& s : shifts) {
-                // A dst cell at index p receives src cell p + s (s != 0
-                // reaches across a periodic boundary into the domain image).
-                // The hash query is over ungrown boxes, so widen it by
-                // srcNGrow and re-intersect against the grown source box.
-                for (const auto& [j, coarse] : src.boxArray().intersections(
-                         dstRegion.shift(s).grow(srcNGrow))) {
-                    const Box isect =
-                        src.boxArray()[j].grow(srcNGrow) & dstRegion.shift(s);
-                    if (!isect.ok()) continue;
-                    (void)coarse;
-                    pattern.copies.push_back(
-                        {i, j, isect.shift(-s), s, isect.numPts()});
-                }
-            }
-        }
+        pattern = buildParallelCopyPattern(src, dstNGrow, srcNGrow, shifts);
     }
     const CommPattern& stored =
         cacheable ? cache.insert(key, std::move(pattern)) : pattern;
     replay(stored, src, srcComp, destComp, numComp, tag, /*p2p=*/false);
+}
+
+CommPattern MultiFab::buildParallelCopyPattern(
+    const MultiFab& src, int dstNGrow, int srcNGrow,
+    const std::vector<IntVect>& shifts) const {
+    CommPattern pattern;
+    pattern.srcSize = src.boxArray().size();
+    pattern.dstSize = ba_.size();
+    for (int i = 0; i < numFabs(); ++i) {
+        const Box dstRegion = ba_[i].grow(dstNGrow);
+        for (const IntVect& s : shifts) {
+            // A dst cell at index p receives src cell p + s (s != 0
+            // reaches across a periodic boundary into the domain image).
+            // The hash query is over ungrown boxes, so widen it by
+            // srcNGrow and re-intersect against the grown source box.
+            for (const auto& [j, coarse] : src.boxArray().intersections(
+                     dstRegion.shift(s).grow(srcNGrow))) {
+                const Box isect =
+                    src.boxArray()[j].grow(srcNGrow) & dstRegion.shift(s);
+                if (!isect.ok()) continue;
+                (void)coarse;
+                pattern.copies.push_back(
+                    {i, j, isect.shift(-s), s, isect.numPts()});
+            }
+        }
+    }
+    return pattern;
 }
 
 void MultiFab::mult(Real a, int comp, int numComp, int ngrow) {

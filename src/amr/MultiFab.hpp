@@ -72,8 +72,10 @@ public:
     /// ghost cells — used to gather stored coordinates, whose ghost values
     /// are globally consistent. Patterns are cached per (src BoxArray id,
     /// dst BoxArray id, ngrows, periodicity) like fillBoundary's.
+    /// The ghost scopes carry no defaults (lint rule R3): every call site
+    /// states how far into the ghost regions the copy reaches.
     void parallelCopy(const MultiFab& src, int srcComp, int destComp,
-                      int numComp, int dstNGrow = 0, int srcNGrow = 0,
+                      int numComp, int dstNGrow, int srcNGrow,
                       const std::string& tag = "ParallelCopy",
                       const Geometry* geomForPeriodicity = nullptr);
 
@@ -104,12 +106,27 @@ public:
 
     parallel::SimComm* comm() const { return comm_; }
 
+    /// Check builds: downgrade every fab's Valid ghost-region shadow cells
+    /// to Stale — called after the valid region is rewritten (RK3 update,
+    /// AverageDown) so a kernel reading ghosts before the next exchange is
+    /// caught. No-op without CROCCO_CHECK.
+    void invalidateGhosts();
+
 private:
     /// Execute a cached/built communication pattern: perform the data copies
     /// and record the SimComm messages (point-to-point for fillBoundary,
     /// ParallelCopy messages otherwise) in build order.
     void replay(const CommPattern& pattern, const MultiFab& src, int srcComp,
                 int destComp, int numComp, const std::string& tag, bool p2p);
+
+    /// Derive the copy-descriptor lists the CommCache stores. Factored out
+    /// of fillBoundary/parallelCopy so the check build's replay guard can
+    /// re-derive a pattern on sampled cache hits and compare it against the
+    /// cached copy (see docs/correctness.md).
+    CommPattern buildFillBoundaryPattern(const std::vector<IntVect>& shifts) const;
+    CommPattern buildParallelCopyPattern(const MultiFab& src, int dstNGrow,
+                                         int srcNGrow,
+                                         const std::vector<IntVect>& shifts) const;
 
     BoxArray ba_;
     DistributionMapping dm_;

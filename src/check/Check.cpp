@@ -1,0 +1,120 @@
+#include "check/Check.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace crocco::check {
+
+const char* kindName(Kind k) {
+    switch (k) {
+        case Kind::Bounds: return "bounds";
+        case Kind::Uninit: return "uninit";
+        case Kind::StaleGhost: return "stale-ghost";
+        case Kind::Race: return "race";
+        case Kind::CommCache: return "comm-cache";
+    }
+    return "?";
+}
+
+namespace detail {
+struct CaptureState {
+    std::mutex m;
+    std::vector<Violation> violations;
+};
+} // namespace detail
+
+namespace {
+
+using detail::CaptureState;
+
+Mode envMode() {
+    if (const char* e = std::getenv("CROCCO_CHECK_MODE")) {
+        if (std::strcmp(e, "warn") == 0) return Mode::Warn;
+    }
+    return Mode::Abort;
+}
+
+// Innermost active capture. Captures are created/destroyed on the main
+// thread; fail() may run on pool workers, so the violation list itself is
+// mutex-guarded while the stack pointer is atomic.
+std::atomic<CaptureState*> gCapture{nullptr};
+
+int gSampleRate = [] {
+    if (const char* e = std::getenv("CROCCO_CHECK_COMM_SAMPLE")) {
+        const int n = std::atoi(e);
+        if (n >= 0) return n;
+    }
+    return 8;
+}();
+std::atomic<std::uint64_t> gReplayCounter{0};
+
+} // namespace
+
+Mode mode() {
+    if (gCapture.load(std::memory_order_acquire)) return Mode::Capture;
+    return envMode();
+}
+
+void fail(Kind kind, const std::string& message) {
+    if (CaptureState* cap = gCapture.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lk(cap->m);
+        cap->violations.push_back({kind, message});
+        return;
+    }
+    std::fflush(stdout);
+    std::fprintf(stderr, "CROCCO_CHECK [%s] %s\n", kindName(kind),
+                 message.c_str());
+    std::fflush(stderr);
+    if (envMode() == Mode::Abort) std::abort();
+}
+
+ScopedFailureCapture::ScopedFailureCapture()
+    : state_(new CaptureState),
+      prev_(gCapture.exchange(state_, std::memory_order_acq_rel)) {}
+
+ScopedFailureCapture::~ScopedFailureCapture() {
+    gCapture.store(prev_, std::memory_order_release);
+    delete state_;
+}
+
+std::vector<Violation> ScopedFailureCapture::violations() const {
+    std::lock_guard<std::mutex> lk(state_->m);
+    return state_->violations;
+}
+
+std::size_t ScopedFailureCapture::count() const { return violations().size(); }
+
+std::size_t ScopedFailureCapture::count(Kind k) const {
+    std::size_t n = 0;
+    for (const Violation& v : violations())
+        if (v.kind == k) ++n;
+    return n;
+}
+
+void ScopedFailureCapture::clear() {
+    std::lock_guard<std::mutex> lk(state_->m);
+    state_->violations.clear();
+}
+
+double poisonValue() {
+    // A signaling NaN with a recognizable payload: exponent all-ones in the
+    // top bits, quiet bit clear, mantissa "c0cc0dead". bit_cast keeps the
+    // signaling bit intact where a double literal or arithmetic on a NaN
+    // would quiet it.
+    return std::bit_cast<double>(std::uint64_t{0x7ff4c0cc0deadULL} << 12);
+}
+
+int commGuardSampleRate() { return gSampleRate; }
+void setCommGuardSampleRate(int n) { gSampleRate = n < 0 ? 0 : n; }
+
+bool commGuardShouldVerify() {
+    if (!enabled || gSampleRate <= 0) return false;
+    const auto n = gReplayCounter.fetch_add(1, std::memory_order_relaxed);
+    return n % static_cast<std::uint64_t>(gSampleRate) == 0;
+}
+
+} // namespace crocco::check

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// CroccoCheck — opt-in correctness instrumentation (-DCROCCO_CHECK=ON).
+///
+/// The checkers woven through the AMR/GPU substrates all funnel their
+/// verdicts through this header:
+///   * Array4 / FArrayBox bounds checking          (Kind::Bounds)
+///   * shadow validity-map reads of never-filled
+///     or poisoned cells                           (Kind::Uninit)
+///   * reads of ghost cells invalidated by a
+///     later valid-region write                    (Kind::StaleGhost)
+///   * ThreadPool launch-level race detection      (Kind::Race)
+///   * CommCache replay re-derivation mismatches   (Kind::CommCache)
+///
+/// CROCCO_CHECK is a whole-build CMake option (add_compile_definitions), so
+/// every translation unit of a configuration agrees on struct layouts; mixed
+/// checked/unchecked objects must never be linked together. With the flag
+/// off, every hook in this namespace compiles to nothing and the accessors
+/// revert to the seed's unchecked inline code.
+namespace crocco::check {
+
+#ifdef CROCCO_CHECK
+inline constexpr bool enabled = true;
+#else
+inline constexpr bool enabled = false;
+#endif
+
+enum class Kind { Bounds, Uninit, StaleGhost, Race, CommCache };
+
+const char* kindName(Kind k);
+
+struct Violation {
+    Kind kind;
+    std::string message;
+};
+
+/// What fail() does with a violation. The base mode comes from the
+/// CROCCO_CHECK_MODE environment variable ("abort" — the default — or
+/// "warn"); an active ScopedFailureCapture overrides either.
+enum class Mode { Abort, Warn, Capture };
+
+Mode mode();
+
+/// Report a violation: print and std::abort() (Abort), print and continue
+/// (Warn), or append to the innermost ScopedFailureCapture (Capture).
+/// Callable from pool worker threads.
+void fail(Kind kind, const std::string& message);
+
+namespace detail {
+struct CaptureState;
+} // namespace detail
+
+/// RAII test hook: while alive, violations are recorded instead of
+/// aborting. Captures nest; violations go to the innermost scope.
+class ScopedFailureCapture {
+public:
+    ScopedFailureCapture();
+    ~ScopedFailureCapture();
+    ScopedFailureCapture(const ScopedFailureCapture&) = delete;
+    ScopedFailureCapture& operator=(const ScopedFailureCapture&) = delete;
+
+    /// Snapshot of the violations captured so far (thread-safe).
+    std::vector<Violation> violations() const;
+    std::size_t count() const;
+    std::size_t count(Kind k) const;
+    void clear();
+
+private:
+    detail::CaptureState* state_;
+    detail::CaptureState* prev_;
+};
+
+/// The signaling-NaN payload gpu::Arena stamps into fresh (device-modeled)
+/// allocations under check builds, so any datum that escapes the validity
+/// map still announces itself as NaN the first time arithmetic touches it.
+double poisonValue();
+
+/// --- CommCache replay guard -------------------------------------------
+/// Checked builds re-derive the copy-descriptor list on every Nth cache
+/// replay and require it byte-identical to the cached pattern, catching
+/// stale-cache bugs introduced by future regrid/invalidation changes.
+/// N comes from CROCCO_CHECK_COMM_SAMPLE (default 8; 0 disables).
+int commGuardSampleRate();
+void setCommGuardSampleRate(int n);
+/// Counter tick: true when this replay should be re-derived and compared.
+bool commGuardShouldVerify();
+
+} // namespace crocco::check

@@ -1,0 +1,94 @@
+#include "check/FabShadow.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace crocco::check {
+
+namespace {
+
+std::atomic<std::uint64_t> gNextFabId{1};
+
+// Boxes are formatted here rather than through amr's operator<< so the check
+// library stays a leaf (it uses only Box's inline methods, no amr objects).
+void fmtBox(std::ostream& os, const Box& b) {
+    os << "[(" << b.smallEnd(0) << "," << b.smallEnd(1) << "," << b.smallEnd(2)
+       << ")-(" << b.bigEnd(0) << "," << b.bigEnd(1) << "," << b.bigEnd(2)
+       << ")]";
+}
+
+const char* stateName(FabShadow::State s) {
+    switch (s) {
+        case FabShadow::Uninit: return "never-filled";
+        case FabShadow::Valid: return "valid";
+        case FabShadow::Stale: return "stale";
+    }
+    return "?";
+}
+
+} // namespace
+
+void FabShadow::define(const Box& alloc, const Box& valid, int ncomp,
+                       State init) {
+    alloc_ = alloc;
+    valid_ = valid;
+    npts_ = alloc.numPts();
+    ncomp_ = ncomp;
+    id_ = gNextFabId.fetch_add(1, std::memory_order_relaxed);
+    state_.assign(static_cast<std::size_t>(npts_) * ncomp,
+                  static_cast<std::uint8_t>(init));
+}
+
+void FabShadow::markAll(State s) {
+    for (std::uint8_t& c : state_) c = static_cast<std::uint8_t>(s);
+}
+
+void FabShadow::markRegion(const Box& region, int comp, int numComp, State s) {
+    if (state_.empty()) return;
+    const Box r = region & alloc_;
+    for (int n = comp; n < comp + numComp; ++n)
+        amr::forEachCell(r, [&](int i, int j, int k) {
+            state_[idx(i, j, k, n)] = static_cast<std::uint8_t>(s);
+        });
+}
+
+void FabShadow::invalidateGhosts() {
+    if (state_.empty()) return;
+    for (int n = 0; n < ncomp_; ++n)
+        amr::forEachCell(alloc_, [&](int i, int j, int k) {
+            if (valid_.contains({i, j, k})) return;
+            std::uint8_t& s = state_[idx(i, j, k, n)];
+            if (s == Valid) s = Stale;
+        });
+}
+
+void FabShadow::failRead(int i, int j, int k, int n, State s,
+                         const std::source_location& loc) const {
+    std::ostringstream os;
+    os << "read of " << stateName(s) << " cell (" << i << "," << j << "," << k
+       << ") comp " << n << " in fab#" << id_ << " alloc=";
+    fmtBox(os, alloc_);
+    os << " valid=";
+    fmtBox(os, valid_);
+    os << " at " << loc.file_name() << ":" << loc.line();
+    fail(s == Stale ? Kind::StaleGhost : Kind::Uninit, os.str());
+}
+
+void failBounds(bool nullView, int i, int j, int k, int n, const IntVect& lo,
+                const IntVect& hi, int ncomp, const FabShadow* shadow,
+                const std::source_location& loc) {
+    std::ostringstream os;
+    if (nullView) {
+        os << "access through a null Array4 view";
+    } else {
+        os << "index (" << i << "," << j << "," << k << ") comp " << n
+           << " outside view ";
+        fmtBox(os, Box(lo, hi));
+        os << " x " << ncomp << " comps";
+    }
+    if (shadow && shadow->defined()) os << " of fab#" << shadow->id();
+    os << " at " << loc.file_name() << ":" << loc.line();
+    fail(Kind::Bounds, os.str());
+}
+
+} // namespace crocco::check

@@ -1,0 +1,98 @@
+#pragma once
+
+#include "amr/Box.hpp"
+#include "check/Check.hpp"
+
+#include <cstdint>
+#include <source_location>
+#include <vector>
+
+namespace crocco::check {
+
+using amr::Box;
+using amr::IntVect;
+
+/// Per-(cell, component) validity map shadowing one FArrayBox allocation.
+///
+/// States form the ghost-cell lifecycle the checker enforces:
+///   Uninit — never written since the fab was defined (or poisoned);
+///   Valid  — written through an Array4 / setVal path;
+///   Stale  — a ghost cell that *was* valid, invalidated because the fab's
+///            valid region has been rewritten since the last exchange
+///            (MultiFab::invalidateGhosts / AverageDown).
+///
+/// Writes through a mutable Array4 mark cells Valid (a write-marking
+/// heuristic: a read-modify-write of an Uninit cell is seen as the read
+/// first, and the Arena NaN poison backstops anything that slips through).
+/// Reads through a const Array4 must find Valid, or check::fail fires with
+/// the fab id, boxes, component, and callsite.
+class FabShadow {
+public:
+    enum State : std::uint8_t { Uninit = 0, Valid = 1, Stale = 2 };
+
+    /// (Re)build the map over `alloc` with `valid` as the non-ghost region;
+    /// every cell starts in `init`. Assigns a fresh process-unique id.
+    void define(const Box& alloc, const Box& valid, int ncomp, State init);
+
+    bool defined() const { return !state_.empty(); }
+    std::uint64_t id() const { return id_; }
+    const Box& allocBox() const { return alloc_; }
+    const Box& validBox() const { return valid_; }
+    int nComp() const { return ncomp_; }
+
+    void markAll(State s);
+    void markRegion(const Box& region, int comp, int numComp, State s);
+
+    /// Valid ghost cells (outside validBox) become Stale; Uninit ghosts stay
+    /// Uninit so the report still distinguishes "never filled" from "filled
+    /// but outdated".
+    void invalidateGhosts();
+
+    /// State of one (cell, component) — test/report accessor.
+    State state(int i, int j, int k, int n) const {
+        return static_cast<State>(state_[idx(i, j, k, n)]);
+    }
+
+    void noteWrite(int i, int j, int k, int n) {
+        if (state_.empty()) return;
+        state_[idx(i, j, k, n)] = Valid;
+    }
+
+    void checkRead(int i, int j, int k, int n,
+                   const std::source_location& loc) const {
+        if (state_.empty()) return;
+        const std::uint8_t s = state_[idx(i, j, k, n)];
+        if (s != Valid) failRead(i, j, k, n, static_cast<State>(s), loc);
+    }
+
+private:
+    std::size_t idx(int i, int j, int k, int n) const {
+        return static_cast<std::size_t>(alloc_.index({i, j, k}) + npts_ * n);
+    }
+    void failRead(int i, int j, int k, int n, State s,
+                  const std::source_location& loc) const;
+
+    Box alloc_;
+    Box valid_;
+    std::int64_t npts_ = 0;
+    int ncomp_ = 0;
+    std::uint64_t id_ = 0;
+    std::vector<std::uint8_t> state_;
+};
+
+/// Bounds-violation report shared by Array4 and FArrayBox accessors; under
+/// Warn/Capture the caller must hand back a dummy cell instead of the
+/// out-of-range reference.
+void failBounds(bool nullView, int i, int j, int k, int n, const IntVect& lo,
+                const IntVect& hi, int ncomp, const FabShadow* shadow,
+                const std::source_location& loc);
+
+/// Sink/source cell returned after a bounds violation when fail() does not
+/// abort, so instrumented code keeps a defined object to reference.
+template <typename T>
+inline T& dummyCell() {
+    thread_local std::remove_const_t<T> cell{};
+    return cell;
+}
+
+} // namespace crocco::check

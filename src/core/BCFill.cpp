@@ -1,5 +1,6 @@
 #include "core/BCFill.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace crocco::core {
@@ -17,12 +18,29 @@ Box ghostRegionOutside(const Box& fabBox, const Box& domain, int dim, int side) 
     return Box(lo, hi);
 }
 
+Box bcSweepRegion(const Box& fabBox, const Box& domain, int dim, int side,
+                  const Geometry& geom) {
+    const Box r = ghostRegionOutside(fabBox, domain, dim, side);
+    if (!r.ok()) return r;
+    amr::IntVect lo = r.smallEnd(), hi = r.bigEnd();
+    for (int dd = dim + 1; dd < amr::SpaceDim; ++dd) {
+        if (geom.isPeriodic(dd)) continue;
+        lo[dd] = std::max(lo[dd], domain.smallEnd(dd));
+        hi[dd] = std::min(hi[dd], domain.bigEnd(dd));
+    }
+    return Box(lo, hi);
+}
+
 namespace {
 
 void fillFace(amr::FArrayBox& fab, const Box& region, const Box& domain, int dim,
               int side, const FaceBC& bc) {
     if (!region.ok()) return;
     auto a = fab.array();
+    // Mirror/edge sources are read through a const view: the sweep regions
+    // guarantee every source cell was filled (by FillBoundary, the interior,
+    // or an earlier sweep), and check builds verify exactly that.
+    const auto s = fab.const_array();
     const int edge = side == 0 ? domain.smallEnd(dim) : domain.bigEnd(dim);
     forEachCell(region, [&](int i, int j, int k) {
         IntVect p{i, j, k};
@@ -33,7 +51,7 @@ void fillFace(amr::FArrayBox& fab, const Box& region, const Box& domain, int dim
                 IntVect q = p;
                 q[dim] = edge;
                 for (int n = 0; n < NCONS; ++n)
-                    a(p[0], p[1], p[2], n) = a(q[0], q[1], q[2], n);
+                    a(p[0], p[1], p[2], n) = s(q[0], q[1], q[2], n);
                 break;
             }
             case BCType::Dirichlet:
@@ -48,13 +66,13 @@ void fillFace(amr::FArrayBox& fab, const Box& region, const Box& domain, int dim
                 const int m = side == 0 ? edge - p[dim] : p[dim] - edge;
                 q[dim] = side == 0 ? edge + m - 1 : edge - m + 1;
                 for (int n = 0; n < NCONS; ++n)
-                    a(p[0], p[1], p[2], n) = a(q[0], q[1], q[2], n);
+                    a(p[0], p[1], p[2], n) = s(q[0], q[1], q[2], n);
                 if (bc.type == BCType::SlipWall) {
                     const int mom = UMX + dim;
-                    a(p[0], p[1], p[2], mom) = -a(p[0], p[1], p[2], mom);
+                    a(p[0], p[1], p[2], mom) = -s(q[0], q[1], q[2], mom);
                 } else {
                     for (int mom = UMX; mom <= UMZ; ++mom)
-                        a(p[0], p[1], p[2], mom) = -a(p[0], p[1], p[2], mom);
+                        a(p[0], p[1], p[2], mom) = -s(q[0], q[1], q[2], mom);
                 }
                 break;
             }
@@ -72,7 +90,7 @@ void applyBCs(MultiFab& mf, const Geometry& geom, const BCSpec& spec) {
         for (int d = 0; d < amr::SpaceDim; ++d) {
             if (geom.isPeriodic(d)) continue;
             for (int side = 0; side < 2; ++side) {
-                fillFace(mf.fab(i), ghostRegionOutside(grown, domain, d, side),
+                fillFace(mf.fab(i), bcSweepRegion(grown, domain, d, side, geom),
                          domain, d, side, spec.face[d][side]);
             }
         }

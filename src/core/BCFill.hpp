@@ -44,4 +44,17 @@ amr::PhysBCFunct makeBCFunct(const BCSpec& spec);
 /// side 0 is the low face. Exposed for custom BC functors.
 Box ghostRegionOutside(const Box& fabBox, const Box& domain, int dim, int side);
 
+/// The region BC sweep `dim` should fill on face (dim, side):
+/// ghostRegionOutside clamped to the domain extent in every *later*
+/// non-periodic dimension. Sweeps run in dimension order, so a corner cell
+/// outside the domain in dims d1 < d2 belongs to the d2 sweep — which reads
+/// through cells the d1 sweep has already filled. The unclamped region would
+/// make the d1 sweep read never-filled corner sources first (a violation
+/// CroccoCheck flags); the cells it would have written are exactly the ones
+/// the d2 sweep overwrites, so final values are bitwise unchanged. Periodic
+/// later dims keep their full extent: fillBoundary already filled their
+/// ghost sources, and no later sweep runs there.
+Box bcSweepRegion(const Box& fabBox, const Box& domain, int dim, int side,
+                  const Geometry& geom);
+
 } // namespace crocco::core

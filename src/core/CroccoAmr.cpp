@@ -241,6 +241,11 @@ void CroccoAmr::rk3Advance() {
                 MultiFab::saxpy(U_[lev], Rk3::B[static_cast<std::size_t>(stage)],
                                 G_[lev], 0, 0, NCONS);
             }
+            // The valid region just advanced a stage: whatever ghost data
+            // U still carries (e.g. from a regrid interpolation) is now
+            // outdated. Check builds mark it Stale so a read before the
+            // next fillPatch aborts; unchecked builds compile this away.
+            U_[lev].invalidateGhosts();
             if (stage == Rk3::nStages - 1 && lev > 0) {
                 perf::TinyProfiler::Scope scope(prof_, "AverageDown");
                 amr::AverageDown(U_[lev], U_[lev - 1], refRatio(), 0, 0, NCONS);

@@ -1,5 +1,9 @@
 #include "gpu/Arena.hpp"
 
+#ifdef CROCCO_CHECK
+#include "check/Check.hpp"
+#endif
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
@@ -29,6 +33,16 @@ void Arena::release(std::int64_t bytes) {
             " B in use (double release or mismatched allocation accounting)");
     }
     inUse_ -= bytes;
+}
+
+void Arena::poisonFresh(double* p, std::size_t n) {
+#ifdef CROCCO_CHECK
+    const double poison = check::poisonValue();
+    for (std::size_t i = 0; i < n; ++i) p[i] = poison;
+#else
+    (void)p;
+    (void)n;
+#endif
 }
 
 } // namespace crocco::gpu

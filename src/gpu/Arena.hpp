@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -44,6 +45,12 @@ public:
 
     /// The 16 GB HBM2 arena of a Summit V100.
     static Arena v100() { return Arena(16ll * 1024 * 1024 * 1024); }
+
+    /// Under CROCCO_CHECK, stamp a freshly allocated (device-modeled)
+    /// buffer with check::poisonValue() signaling NaNs so uninitialized
+    /// reads that escape the shadow validity map still blow up the first
+    /// time arithmetic touches them. No-op in unchecked builds.
+    static void poisonFresh(double* p, std::size_t n);
 
 private:
     std::int64_t capacity_;

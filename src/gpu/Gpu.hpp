@@ -29,6 +29,13 @@ using amr::Box;
 /// reductions combine fixed-decomposition partials in slab order for the
 /// same guarantee. `launch` (whole-box kernels with interior loop-carried
 /// dependencies) is never auto-parallelized.
+///
+/// Under -DCROCCO_CHECK every pool-parallel launch is watched by the
+/// check::RaceDetector: overlapping same-fab writes (or read-write pairs)
+/// between concurrently scheduled tasks abort with both task footprints.
+/// The serial fallbacks (numThreads() == 1, single task, nested launches)
+/// are deterministic and go unrecorded — run the check suite with
+/// GPU_NUM_THREADS > 1 to exercise the detector (see docs/correctness.md).
 
 namespace detail {
 

@@ -1,5 +1,9 @@
 #include "gpu/ThreadPool.hpp"
 
+#ifdef CROCCO_CHECK
+#include "check/RaceDetector.hpp"
+#endif
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -40,7 +44,15 @@ struct ThreadPool::Impl {
     void runStripe(int tid) {
         tlInTask = true;
         try {
-            for (int t = tid; t < ntasks; t += nthreads) (*job)(t);
+            for (int t = tid; t < ntasks; t += nthreads) {
+#ifdef CROCCO_CHECK
+                // Bind this worker's Array4 accesses to task t; nested
+                // launches run inline here, so their accesses are charged to
+                // the enclosing task — exactly the serialization rule.
+                check::RaceDetector::TaskScope scope(t);
+#endif
+                (*job)(t);
+            }
         } catch (...) {
             std::lock_guard<std::mutex> lk(errM);
             if (!firstError) firstError = std::current_exception();
@@ -154,6 +166,9 @@ void ThreadPool::run(int ntasks, const std::function<void(int)>& f) {
         for (int t = 0; t < ntasks; ++t) f(t);
         return;
     }
+#ifdef CROCCO_CHECK
+    check::RaceDetector::instance().beginLaunch(ntasks);
+#endif
     {
         std::lock_guard<std::mutex> lk(impl_->m);
         impl_->job = &f;
@@ -168,6 +183,11 @@ void ThreadPool::run(int ntasks, const std::function<void(int)>& f) {
         impl_->done.wait(lk, [&] { return impl_->remaining == 0; });
         impl_->job = nullptr;
     }
+#ifdef CROCCO_CHECK
+    // Scan before rethrowing a task exception: a race report should not be
+    // masked by the exception it may well have caused.
+    check::RaceDetector::instance().endLaunch();
+#endif
     if (impl_->firstError) {
         auto e = impl_->firstError;
         impl_->firstError = nullptr;

@@ -93,24 +93,30 @@ amr::PhysBCFunct Dmr::boundaryConditions() const {
         };
         for (int f = 0; f < mf.numFabs(); ++f) {
             auto a = mf.array(f);
+            // Mirror/edge sources read through a const view; the sweep
+            // regions (core::bcSweepRegion) clamp each x sweep away from the
+            // y ghost rows, whose corner cells belong to the later y sweeps
+            // — so every source read here is already filled, and the final
+            // ghost values are bitwise identical to the unclamped fill.
+            const auto src = mf.const_array(f);
             const Box grown = mf.grownBox(f);
 
             // x-low: supersonic inflow at the post-shock state.
-            amr::forEachCell(core::ghostRegionOutside(grown, domain, 0, 0),
+            amr::forEachCell(core::bcSweepRegion(grown, domain, 0, 0, geom),
                              [&](int i, int j, int k) {
                                  for (int n = 0; n < NCONS; ++n)
                                      a(i, j, k, n) = post[static_cast<std::size_t>(n)];
                              });
             // x-high: supersonic outflow (zero-gradient).
-            amr::forEachCell(core::ghostRegionOutside(grown, domain, 0, 1),
+            amr::forEachCell(core::bcSweepRegion(grown, domain, 0, 1, geom),
                              [&](int i, int j, int k) {
                                  for (int n = 0; n < NCONS; ++n)
-                                     a(i, j, k, n) = a(domain.bigEnd(0), j, k, n);
+                                     a(i, j, k, n) = src(domain.bigEnd(0), j, k, n);
                              });
             // y-low: post-shock inflow before the ramp foot (x < 1/6),
             // inviscid reflecting wall after it.
             amr::forEachCell(
-                core::ghostRegionOutside(grown, domain, 1, 0),
+                core::bcSweepRegion(grown, domain, 1, 0, geom),
                 [&](int i, int j, int k) {
                     if (physX(i, j, k) < shockX0) {
                         for (int n = 0; n < NCONS; ++n)
@@ -118,13 +124,13 @@ amr::PhysBCFunct Dmr::boundaryConditions() const {
                     } else {
                         const int jm = 2 * domain.smallEnd(1) - 1 - j; // mirror
                         for (int n = 0; n < NCONS; ++n)
-                            a(i, j, k, n) = a(i, jm, k, n);
-                        a(i, j, k, UMY) = -a(i, j, k, UMY);
+                            a(i, j, k, n) = src(i, jm, k, n);
+                        a(i, j, k, UMY) = -src(i, jm, k, UMY);
                     }
                 });
             // y-high: exact states tracking the moving incident shock.
             amr::forEachCell(
-                core::ghostRegionOutside(grown, domain, 1, 1),
+                core::bcSweepRegion(grown, domain, 1, 1, geom),
                 [&](int i, int j, int k) {
                     const auto& s =
                         physX(i, j, k) < shockXAtTop(time, 1.0) ? post : pre;

@@ -1,0 +1,103 @@
+#include "amr/CommCache.hpp"
+#include "amr/MultiFab.hpp"
+#include "check/Check.hpp"
+
+#include <gtest/gtest.h>
+
+// CommCache replay guard: a sampled cache hit re-derives the pattern and
+// asserts it byte-identical to the cached descriptors. A deliberately
+// corrupted cache entry must be reported; healthy hits must verify clean.
+
+#ifndef CROCCO_CHECK
+
+namespace {
+TEST(CommGuard, RequiresCheckBuild) {
+    GTEST_SKIP() << "comm guard suites require -DCROCCO_CHECK=ON";
+}
+} // namespace
+
+#else
+
+namespace crocco::amr {
+namespace {
+
+struct SampleRateGuard {
+    int saved = check::commGuardSampleRate();
+    ~SampleRateGuard() { check::setCommGuardSampleRate(saved); }
+};
+
+struct CommSetup {
+    Box domain{IntVect::zero(), IntVect{15, 7, 7}};
+    Geometry geom;
+    BoxArray ba;
+    DistributionMapping dm;
+    MultiFab mf;
+
+    CommSetup() {
+        Periodicity per;
+        per.periodic[2] = true;
+        geom = Geometry(domain, {0, 0, 0}, {1, 1, 1}, per);
+        ba = BoxArray(std::vector<Box>{Box(IntVect::zero(), IntVect{7, 7, 7}),
+                                       Box(IntVect{8, 0, 0}, IntVect{15, 7, 7})});
+        dm = DistributionMapping(ba, 1);
+        mf.define(ba, dm, 1, 2);
+        mf.setVal(0.0);
+    }
+};
+
+TEST(CommGuard, CorruptedFillBoundaryPatternIsReported) {
+    SampleRateGuard rate;
+    CommSetup s;
+    s.mf.fillBoundary(s.geom); // miss: builds and caches the pattern
+
+    // Corrupt the cached entry in place (npts feeds message sizing only, so
+    // the corrupted replay is still memory-safe).
+    CommCache& cache = CommCache::instance();
+    const CommCache::Key key{s.ba.id(), s.ba.id(), 2, 0,
+                             hashShifts(s.geom.periodicShifts()),
+                             CommCache::FillBoundary};
+    const CommPattern* pat = cache.lookup(key, s.ba.size(), s.ba.size());
+    ASSERT_NE(pat, nullptr);
+    ASSERT_FALSE(pat->copies.empty());
+    CommPattern corrupted = *pat;
+    corrupted.copies.back().npts += 1;
+    cache.insert(key, std::move(corrupted));
+
+    check::setCommGuardSampleRate(1); // verify every hit
+    {
+        check::ScopedFailureCapture cap;
+        s.mf.fillBoundary(s.geom);
+        ASSERT_EQ(cap.count(check::Kind::CommCache), 1u);
+        EXPECT_NE(cap.violations()[0].message.find("FillBoundary"),
+                  std::string::npos)
+            << cap.violations()[0].message;
+    }
+    // Sample rate 0 disables verification: the corrupted entry replays
+    // unchecked (the opt-out the bench lane uses).
+    check::setCommGuardSampleRate(0);
+    {
+        check::ScopedFailureCapture cap;
+        s.mf.fillBoundary(s.geom);
+        EXPECT_EQ(cap.count(), 0u);
+    }
+    cache.invalidate(s.ba.id()); // drop the poisoned entry
+}
+
+TEST(CommGuard, HealthyHitsVerifyClean) {
+    SampleRateGuard rate;
+    check::setCommGuardSampleRate(1);
+    CommSetup s;
+    check::ScopedFailureCapture cap;
+    s.mf.fillBoundary(s.geom); // miss
+    s.mf.fillBoundary(s.geom); // hit, verified
+    // ParallelCopy path: gather into a differently-grown destination.
+    MultiFab dst(s.ba, s.dm, 1, 1);
+    dst.parallelCopy(s.mf, 0, 0, 1, 1, 0, "ParallelCopy", &s.geom); // miss
+    dst.parallelCopy(s.mf, 0, 0, 1, 1, 0, "ParallelCopy", &s.geom); // hit
+    EXPECT_EQ(cap.count(), 0u);
+}
+
+} // namespace
+} // namespace crocco::amr
+
+#endif // CROCCO_CHECK

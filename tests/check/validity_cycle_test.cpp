@@ -1,0 +1,243 @@
+#include "amr/FillPatch.hpp"
+#include "check/Check.hpp"
+#include "core/BCFill.hpp"
+#include "problems/Dmr.hpp"
+
+#include <gtest/gtest.h>
+
+// Ghost-validity shadow map across a full AMR cycle — FillPatchTwoLevels,
+// AverageDown, level remake — plus the BC corner-sweep regression: the
+// pre-fix boundary fill read never-filled corner sources, which the checker
+// must flag, while the clamped-sweep fill must run clean.
+
+#ifndef CROCCO_CHECK
+
+namespace {
+TEST(ValidityCycle, RequiresCheckBuild) {
+    GTEST_SKIP() << "validity cycle suites require -DCROCCO_CHECK=ON";
+}
+} // namespace
+
+#else
+
+namespace crocco::amr {
+namespace {
+
+std::vector<Box> tiledBoxes(const Box& domain, int size) {
+    std::vector<Box> out;
+    forEachCell(domain.coarsen(size), [&](int i, int j, int k) {
+        const IntVect lo = IntVect{i, j, k} * size;
+        out.emplace_back(lo, lo + IntVect(size - 1));
+    });
+    return out;
+}
+
+double affine(int lev, const IntVect& p) {
+    const double h = (lev == 0) ? 1.0 : 0.5;
+    return 2.0 * (p[0] + 0.5) * h - 1.0 * (p[1] + 0.5) * h +
+           0.5 * (p[2] + 0.5) * h + 3.0;
+}
+
+// Mirrors the two-level hierarchy of the FillPatch tests: coarse level over
+// a 16^3 domain, fine level over its middle, z periodic, 4 ghost layers.
+struct TwoLevelSetup {
+    Box domain0{IntVect::zero(), IntVect(15)};
+    Geometry geom0, geom1;
+    BoxArray ba0, ba1;
+    DistributionMapping dm0, dm1;
+    MultiFab crse, fine;
+
+    TwoLevelSetup() {
+        Periodicity per;
+        per.periodic[2] = true;
+        geom0 = Geometry(domain0, {0, 0, 0}, {1, 1, 1}, per);
+        geom1 = geom0.refine(IntVect(2));
+        ba0 = BoxArray(tiledBoxes(domain0, 8));
+        dm0 = DistributionMapping(ba0, 2);
+        ba1 = BoxArray(tiledBoxes(Box(IntVect(8), IntVect(23)), 8));
+        dm1 = DistributionMapping(ba1, 2);
+        crse.define(ba0, dm0, 1, 4);
+        fine.define(ba1, dm1, 1, 4);
+        fillLevel(crse, 0);
+        fillLevel(fine, 1);
+    }
+    static void fillLevel(MultiFab& mf, int lev) {
+        for (int f = 0; f < mf.numFabs(); ++f) {
+            auto a = mf.array(f);
+            forEachCell(mf.validBox(f), [&](int i, int j, int k) {
+                a(i, j, k, 0) = affine(lev, {i, j, k});
+            });
+        }
+    }
+};
+
+PhysBCFunct extrapolationBC() {
+    return [](MultiFab& mf, const Geometry& g, Real) {
+        for (int f = 0; f < mf.numFabs(); ++f) {
+            const Box interior = mf.grownBox(f) & g.domain();
+            linearExtrapolateGhost(mf.fab(f), interior, 0, mf.nComp());
+        }
+    };
+}
+
+// Reads every allocated cell of every fab through the checked const view;
+// returns the number of violations that raised.
+std::size_t readEverything(const MultiFab& mf) {
+    check::ScopedFailureCapture cap;
+    for (int f = 0; f < mf.numFabs(); ++f) {
+        auto a = mf.const_array(f);
+        for (int n = 0; n < mf.nComp(); ++n)
+            forEachCell(mf.grownBox(f),
+                        [&](int i, int j, int k) { (void)a(i, j, k, n); });
+    }
+    return cap.count();
+}
+
+TEST(ValidityCycle, FillPatchTwoLevelsMakesEveryCellReadable) {
+    TwoLevelSetup s;
+    MultiFab dst(s.ba1, s.dm1, 1, 4);
+    {
+        check::ScopedFailureCapture cap;
+        (void)dst.const_array(0)(8, 8, 8, 0); // fresh scratch: poisoned
+        ASSERT_EQ(cap.count(check::Kind::Uninit), 1u);
+    }
+    TrilinearInterp interp;
+    check::ScopedFailureCapture cap;
+    FillPatchTwoLevels(dst, s.fine, s.crse, s.geom1, s.geom0, IntVect(2),
+                       interp, extrapolationBC(), extrapolationBC(), 0.0);
+    EXPECT_EQ(cap.count(), 0u) << "FillPatch itself must not read stale data";
+    EXPECT_EQ(readEverything(dst), 0u);
+    using State = check::FabShadow::State;
+    EXPECT_EQ(dst.fab(0).shadowMap().state(7, 8, 8, 0), State::Valid);
+}
+
+TEST(ValidityCycle, AverageDownStalesCoarseGhosts) {
+    TwoLevelSetup s;
+    s.crse.fillBoundary(s.geom0);
+    using State = check::FabShadow::State;
+    // Fab 0 is (0..7)^3; its ghost at (8,0,0) sits in a sibling's valid
+    // region and is Valid after the exchange.
+    ASSERT_EQ(s.crse.fab(0).shadowMap().state(8, 0, 0, 0), State::Valid);
+    AverageDown(s.fine, s.crse, IntVect(2), 0, 0, 1);
+    EXPECT_EQ(s.crse.fab(0).shadowMap().state(8, 0, 0, 0), State::Stale);
+    EXPECT_EQ(s.crse.fab(0).shadowMap().state(0, 0, 0, 0), State::Valid);
+    check::ScopedFailureCapture cap;
+    (void)s.crse.const_array(0)(8, 0, 0, 0);
+    ASSERT_EQ(cap.count(check::Kind::StaleGhost), 1u);
+    // The next exchange restores readability.
+    s.crse.fillBoundary(s.geom0);
+    cap.clear();
+    (void)s.crse.const_array(0)(8, 0, 0, 0);
+    EXPECT_EQ(cap.count(), 0u);
+}
+
+TEST(ValidityCycle, RemadeLevelIsPoisonedUntilInterpFills) {
+    // Regrid remakes a level as a fresh MultiFab and fills it from coarse —
+    // exactly this sequence. The new layout is deliberately offset from any
+    // existing fine patch.
+    TwoLevelSetup s;
+    BoxArray nba(Box(IntVect(4), IntVect(19)));
+    DistributionMapping ndm(nba, 2);
+    MultiFab remade(nba, ndm, 1, 4);
+    {
+        check::ScopedFailureCapture cap;
+        (void)remade.const_array(0)(4, 4, 4, 0);
+        ASSERT_EQ(cap.count(check::Kind::Uninit), 1u)
+            << "remade level must start poisoned";
+    }
+    TrilinearInterp interp;
+    check::ScopedFailureCapture cap;
+    InterpFromCoarseLevel(remade, s.crse, s.geom1, s.geom0, IntVect(2), interp,
+                          extrapolationBC(), extrapolationBC(), 0.0);
+    EXPECT_EQ(cap.count(), 0u);
+    EXPECT_EQ(readEverything(remade), 0u);
+}
+
+// --- BC corner-sweep regression (the violation CroccoCheck caught) -------
+
+struct BCFixture {
+    Box domain{IntVect::zero(), IntVect{15, 7, 7}};
+    Geometry geom;
+    MultiFab mf;
+
+    BCFixture() {
+        Periodicity per;
+        per.periodic[2] = true;
+        geom = Geometry(domain, {0, 0, 0}, {1, 1, 1}, per);
+        BoxArray ba(domain);
+        DistributionMapping dm(ba, 1);
+        mf.define(ba, dm, core::NCONS, 2);
+        auto a = mf.array(0);
+        forEachCell(mf.validBox(0), [&](int i, int j, int k) {
+            for (int n = 0; n < core::NCONS; ++n)
+                a(i, j, k, n) = 1.0 + i + 2 * j + 3 * k + n;
+        });
+        mf.fillBoundary(geom); // periodic z ghosts become Valid
+    }
+};
+
+TEST(BCRegression, UnclampedOutflowSweepReadsNeverFilledCorners) {
+    BCFixture fx;
+    const Box grown = fx.mf.grownBox(0);
+    const Box unclamped =
+        core::ghostRegionOutside(grown, fx.domain, 0, 1);
+    const Box clamped = core::bcSweepRegion(grown, fx.domain, 0, 1, fx.geom);
+    // The clamp removes the y corner rows (z stays: periodic).
+    ASSERT_LT(clamped.numPts(), unclamped.numPts());
+    ASSERT_EQ(clamped.smallEnd(2), unclamped.smallEnd(2));
+    // Pre-fix sweep shape: zero-gradient fill over the *unclamped* region
+    // reads the domain-edge source row at every (j, k), including y ghost
+    // rows no BC sweep has filled yet.
+    check::ScopedFailureCapture cap;
+    const auto src = fx.mf.const_array(0);
+    forEachCell(unclamped, [&](int /*i*/, int j, int k) {
+        (void)src(fx.domain.bigEnd(0), j, k, 0);
+    });
+    EXPECT_GT(cap.count(check::Kind::Uninit), 0u)
+        << "unclamped sweep must read never-filled corner sources";
+}
+
+TEST(BCRegression, ClampedApplyBCsRunsCleanAndFillsEverything) {
+    BCFixture fx;
+    core::BCSpec spec;
+    spec.face[0][0].type = core::BCType::Dirichlet;
+    spec.face[0][0].state = {1.4, 0.0, 0.0, 0.0, 2.5};
+    spec.face[0][1].type = core::BCType::Outflow;
+    spec.face[1][0].type = core::BCType::SlipWall;
+    spec.face[1][1].type = core::BCType::NoSlipWall;
+    spec.face[2][0].type = core::BCType::Periodic;
+    spec.face[2][1].type = core::BCType::Periodic;
+    {
+        check::ScopedFailureCapture cap;
+        core::applyBCs(fx.mf, fx.geom, spec);
+        EXPECT_EQ(cap.count(), 0u) << "fixed sweeps read only filled cells";
+    }
+    EXPECT_EQ(readEverything(fx.mf), 0u)
+        << "every allocated cell is filled after fillBoundary + applyBCs";
+}
+
+TEST(BCRegression, DmrBoundaryFunctorRunsClean) {
+    // The production DMR functor (mixed inflow/outflow/wall/tracked-shock)
+    // on its own geometry: no stale or never-filled reads.
+    problems::Dmr dmr;
+    const Geometry& geom = dmr.geometry();
+    BoxArray ba(geom.domain());
+    DistributionMapping dm(ba, 1);
+    MultiFab mf(ba, dm, core::NCONS, core::NGHOST);
+    auto a = mf.array(0);
+    const auto post = problems::Dmr::postShockState();
+    forEachCell(mf.validBox(0), [&](int i, int j, int k) {
+        for (int n = 0; n < core::NCONS; ++n)
+            a(i, j, k, n) = post[static_cast<std::size_t>(n)];
+    });
+    mf.fillBoundary(geom);
+    check::ScopedFailureCapture cap;
+    dmr.boundaryConditions()(mf, geom, 0.1);
+    EXPECT_EQ(cap.count(), 0u);
+    EXPECT_EQ(readEverything(mf), 0u);
+}
+
+} // namespace
+} // namespace crocco::amr
+
+#endif // CROCCO_CHECK

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full CI sweep: lint, the Release tier-1 suite, the CROCCO_CHECK
+# instrumentation suite, and the sanitizer suite — each in its own build
+# tree so configurations never contaminate each other.
+#
+#   tools/ci.sh            # run everything
+#   SKIP_SANITIZE=1 tools/ci.sh   # skip the (slow) sanitizer lane
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+echo "== lint =="
+tools/lint.sh
+
+echo "== tier-1 (Release) =="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci -j "$JOBS" >/dev/null
+(cd build-ci && ctest --output-on-failure)
+
+echo "== CroccoCheck (Release + CROCCO_CHECK) =="
+cmake -B build-ci-check -S . -DCMAKE_BUILD_TYPE=Release -DCROCCO_CHECK=ON \
+      -DCROCCO_BUILD_BENCH=OFF -DCROCCO_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-ci-check -j "$JOBS" >/dev/null
+(cd build-ci-check && ctest -L check --output-on-failure)
+
+if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
+    echo "== sanitizers (ASan + UBSan) =="
+    cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=Debug -DCROCCO_SANITIZE=ON \
+          -DCROCCO_BUILD_BENCH=OFF -DCROCCO_BUILD_EXAMPLES=OFF >/dev/null
+    cmake --build build-ci-asan -j "$JOBS" >/dev/null
+    (cd build-ci-asan && ctest -L check --output-on-failure)
+fi
+
+echo "== CI OK =="

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# CroccoCheck source lint: repo-specific rules that keep the correctness
+# instrumentation effective (docs/correctness.md), plus clang-tidy when the
+# toolchain provides it. Run from the repo root (`make lint` does).
+#
+# Rules:
+#   R1  No new `.data()` raw-pointer escapes outside the allowlist. Raw
+#       pointers bypass the checked Array4 accessors, so every escape must
+#       be a reviewed idiom (fab storage owner, WENO line buffers, binary
+#       I/O of plain vectors).
+#   R2  No std::thread / <thread> / OpenMP outside src/gpu/. All parallelism
+#       routes through the ThreadPool so the race detector sees it.
+#   R3  No defaulted ghost-count parameters (`...Grow = 0`). Call sites must
+#       state how many ghost layers a copy touches; silent defaults caused
+#       valid-region copies where ghost copies were intended.
+#   R4  No amr::forEachCell in the flux/transport kernel files. Kernels
+#       iterate through gpu::ParallelFor so thread scaling and the race
+#       detector cover them.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+report() { # report <rule> <matches>
+    if [ -n "$2" ]; then
+        echo "lint: $1 violated:"
+        echo "$2" | sed 's/^/  /'
+        fail=1
+    fi
+}
+
+# R1: .data() escapes. Allowlist is file-granular — extend it only after
+# review (the point is making new escapes show up here).
+R1_ALLOW='^src/(amr/FArrayBox\.(cpp|hpp)|core/Weno\.cpp|core/CroccoAmr\.cpp|chem/Reaction\.cpp|mesh/CoordStore\.cpp|resilience/RestartManager\.cpp):'
+r1=$(grep -rn '\.data()' src/ --include='*.cpp' --include='*.hpp' \
+     | grep -Ev "$R1_ALLOW" || true)
+report "R1 (.data() escape outside allowlist)" "$r1"
+
+# R2: threading primitives outside the pool.
+r2=$(grep -rnE '#include <thread>|std::thread\b|#pragma omp|#include <omp\.h>' \
+     src/ --include='*.cpp' --include='*.hpp' \
+     | grep -v '^src/gpu/ThreadPool\.' \
+     | grep -v '^[^:]*:[0-9]*: *//' || true)
+report "R2 (threading primitive outside src/gpu/ThreadPool)" "$r2"
+
+# R3: defaulted ghost counts in declarations (matches parameters like
+# `int dstNGrow = 0,`; member initializers end with `;` or `{`).
+r3=$(grep -rnE 'Grow = 0[,)]' src/ --include='*.hpp' || true)
+report "R3 (defaulted ghost-count parameter)" "$r3"
+
+# R4: serial cell loops inside kernel files.
+r4=$(grep -n 'forEachCell' src/core/Weno.cpp src/core/Viscous.cpp \
+     src/core/Sgs.cpp src/core/Rans.cpp src/core/SpeciesTransport.cpp \
+     2>/dev/null || true)
+report "R4 (forEachCell in kernel file)" "$r4"
+
+# clang-tidy (optional): uses .clang-tidy at the repo root. Needs a compile
+# database; generate one on demand in build-tidy/ if a compiler is around.
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ ! -f build-tidy/compile_commands.json ]; then
+        cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+              -DCROCCO_BUILD_BENCH=OFF -DCROCCO_BUILD_EXAMPLES=OFF \
+              >/dev/null
+    fi
+    if ! clang-tidy -p build-tidy --quiet $(git ls-files 'src/*.cpp'); then
+        echo "lint: clang-tidy reported findings"
+        fail=1
+    fi
+else
+    echo "lint: clang-tidy not found; skipping static-analysis pass"
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "lint: OK"
+fi
+exit "$fail"
