@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs the PR4 overlap bench and composes its JSON into BENCH_PR4.json:
+# serial vs overlapped modeled step time at 1/2/4/8 worker threads, the
+# wenoFlux scratch-pool hit rate, and the ScalingSimulator overlap sweep
+# (totalSerial vs totalOverlapped + overlap efficiency) at 1..4096 nodes.
+#
+# Usage: bench/run_bench_pr4.sh [build-dir] [output.json]
+set -e
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_PR4.json}
+
+if [ ! -x "$BUILD/bench/overlap" ]; then
+    echo "error: $BUILD/bench/overlap not built (cmake --build $BUILD --target overlap)" >&2
+    exit 1
+fi
+
+OVERLAP=$("$BUILD/bench/overlap")
+
+{
+    echo '{'
+    echo '  "bench": "PR4: comm/compute overlap (async ghost exchange + interior/halo split)",'
+    echo "  \"overlap\": $OVERLAP"
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

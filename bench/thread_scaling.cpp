@@ -82,7 +82,7 @@ int main() {
 
     auto kernelNs = [&](int nthreads) {
         double total = 0.0;
-        for (const auto& l : launches) total += criticalPathNs(l, nthreads);
+        for (const auto& l : launches) total += criticalPathNs(l.taskNs, nthreads);
         return total;
     };
 
@@ -100,7 +100,7 @@ int main() {
     const double serialNs = wallNs[0] - kernelNs(1);
     const unsigned hw = std::thread::hardware_concurrency();
     std::size_t ntasks = 0;
-    for (const auto& l : launches) ntasks += l.size();
+    for (const auto& l : launches) ntasks += l.taskNs.size();
 
     std::fprintf(stderr,
                  "traced %zu pooled launches, %zu tasks; pooled fraction of "

@@ -17,6 +17,16 @@ FArrayBox::FArrayBox(const Box& b, int ncomp, Real initial)
 #endif
 }
 
+void FArrayBox::resize(const Box& b, int ncomp) {
+    assert(b.ok() && ncomp >= 1);
+    box_ = b;
+    ncomp_ = ncomp;
+    data_.resize(static_cast<std::size_t>(b.numPts()) * ncomp);
+#ifdef CROCCO_CHECK
+    shadow_.define(box_, box_, ncomp_, check::FabShadow::Valid);
+#endif
+}
+
 void FArrayBox::markUninitialized(const Box& validBox) {
 #ifdef CROCCO_CHECK
     shadow_.define(box_, validBox, ncomp_, check::FabShadow::Uninit);

@@ -65,6 +65,13 @@ public:
 
     bool ok() const { return !data_.empty(); }
 
+    /// Rebind to a new box / component count, reusing the existing storage
+    /// when the element count matches (gpu::ScratchPool recycling).
+    /// Contents are unspecified afterwards; check builds reset the shadow
+    /// to fully Valid — callers wanting poison + Uninit tracking follow up
+    /// with markUninitialized().
+    void resize(const Box& b, int ncomp);
+
     /// Check builds: poison the storage with signaling NaNs and reset the
     /// shadow map to Uninit with `validBox` as the non-ghost region (called
     /// by MultiFab::define, where fabs model fresh device allocations).

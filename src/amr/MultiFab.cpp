@@ -3,11 +3,13 @@
 #include "amr/CommCache.hpp"
 #include "check/Check.hpp"
 #include "gpu/Gpu.hpp"
+#include "gpu/Stream.hpp"
 
 #include <cassert>
 #include <chrono>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace crocco::amr {
 
@@ -32,10 +34,49 @@ struct MaybeScope {
 
 } // namespace
 
+/// Pattern snapshot + deferred copies + posted message requests of one
+/// fillBoundaryBegin, alive until the matching End. The pattern is stored
+/// by value: a CommCache LRU eviction between Begin and End must not
+/// dangle the descriptors.
+struct MultiFab::AsyncFillState {
+    CommPattern pattern;
+    gpu::Stream stream;
+    std::vector<parallel::SimComm::Request> requests;
+};
+
 MultiFab::MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
                    int ngrow, parallel::SimComm* comm) {
     define(ba, dm, ncomp, ngrow, comm);
 }
+
+MultiFab::MultiFab(const MultiFab& o)
+    : ba_(o.ba_), dm_(o.dm_), ncomp_(o.ncomp_), ngrow_(o.ngrow_),
+      fabs_(o.fabs_), comm_(o.comm_) {
+    if (o.asyncFill_) {
+        throw std::logic_error("MultiFab copy with a ghost exchange in flight "
+                               "(fillBoundaryBegin without fillBoundaryEnd)");
+    }
+}
+
+MultiFab& MultiFab::operator=(const MultiFab& o) {
+    if (this == &o) return *this;
+    if (o.asyncFill_ || asyncFill_) {
+        throw std::logic_error("MultiFab assignment with a ghost exchange in "
+                               "flight (fillBoundaryBegin without fillBoundaryEnd)");
+    }
+    ba_ = o.ba_;
+    dm_ = o.dm_;
+    ncomp_ = o.ncomp_;
+    ngrow_ = o.ngrow_;
+    fabs_ = o.fabs_;
+    comm_ = o.comm_;
+    return *this;
+}
+
+MultiFab::MultiFab() = default;
+MultiFab::MultiFab(MultiFab&&) noexcept = default;
+MultiFab& MultiFab::operator=(MultiFab&&) noexcept = default;
+MultiFab::~MultiFab() = default;
 
 void MultiFab::define(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
                       int ngrow, parallel::SimComm* comm) {
@@ -46,6 +87,7 @@ void MultiFab::define(const BoxArray& ba, const DistributionMapping& dm, int nco
     ncomp_ = ncomp;
     ngrow_ = ngrow;
     comm_ = comm;
+    asyncFill_.reset(); // redefining abandons any in-flight exchange
     fabs_.clear();
     fabs_.reserve(ba.size());
     for (int i = 0; i < ba.size(); ++i) fabs_.emplace_back(ba[i].grow(ngrow), ncomp);
@@ -169,6 +211,67 @@ void MultiFab::fillBoundary(const Geometry& geom) {
     const CommPattern& stored =
         cacheable ? cache.insert(key, std::move(pattern)) : pattern;
     replay(stored, *this, 0, 0, ncomp_, "FillBoundary", /*p2p=*/true);
+}
+
+void MultiFab::fillBoundaryBegin(const Geometry& geom) {
+    if (asyncFill_) {
+        throw std::logic_error("MultiFab::fillBoundaryBegin with an exchange "
+                               "already in flight (missing fillBoundaryEnd)");
+    }
+    const auto shifts = geom.periodicShifts();
+    CommCache& cache = CommCache::instance();
+    const CommCache::Key key{ba_.id(), ba_.id(), ngrow_, 0, hashShifts(shifts),
+                             CommCache::FillBoundary};
+    const bool cacheable = cache.enabled() && ba_.id() != 0;
+    auto st = std::make_unique<AsyncFillState>();
+    bool resolved = false;
+    if (cacheable) {
+        if (const CommPattern* pat = cache.lookup(key, ba_.size(), ba_.size())) {
+            if (check::enabled && check::commGuardShouldVerify())
+                verifyReplay(*pat, buildFillBoundaryPattern(shifts),
+                             "FillBoundary");
+            MaybeScope scope("CommCacheHit");
+            st->pattern = *pat;
+            resolved = true;
+        }
+    }
+    if (!resolved) {
+        MaybeScope scope("CommCacheBuild");
+        st->pattern = buildFillBoundaryPattern(shifts);
+        if (cacheable) cache.insert(key, CommPattern(st->pattern));
+    }
+    // Post the exchange: the data copies are deferred on the stream (End
+    // drains them in enqueue == build order) and the off-rank messages are
+    // posted as nonblocking sends completed at End in posting order — both
+    // byte-identical to the blocking fillBoundary.
+    for (const CopyDescriptor& d : st->pattern.copies) {
+        st->stream.enqueue([this, d] {
+            fabs_[d.dstFab].copyFrom(fabs_[d.srcFab], d.region, 0, 0, ncomp_,
+                                     d.shift);
+        });
+        if (!comm_) continue;
+        const int srcRank = dm_[d.srcFab];
+        const int dstRank = dm_[d.dstFab];
+        if (srcRank == dstRank) continue; // on-rank copies never hit the network
+        const std::int64_t bytes =
+            d.npts * ncomp_ * static_cast<std::int64_t>(sizeof(Real));
+        st->requests.push_back(comm_->isend(
+            srcRank, dstRank, bytes, parallel::MessageKind::PointToPoint,
+            "FillBoundary"));
+    }
+    asyncFill_ = std::move(st);
+}
+
+void MultiFab::fillBoundaryEnd(const std::source_location& loc) {
+    if (!asyncFill_) {
+        throw std::logic_error(
+            std::string("MultiFab::fillBoundaryEnd without a matching "
+                        "fillBoundaryBegin at ") +
+            loc.file_name() + ":" + std::to_string(loc.line()));
+    }
+    asyncFill_->stream.synchronize();
+    if (comm_) comm_->waitall(asyncFill_->requests);
+    asyncFill_.reset();
 }
 
 void MultiFab::parallelCopy(const MultiFab& src, int srcComp, int destComp,

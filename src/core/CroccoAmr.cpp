@@ -1,8 +1,11 @@
 #include "core/CroccoAmr.hpp"
 
+#include "amr/BoxList.hpp"
 #include "amr/CommCache.hpp"
 #include "core/Rk3.hpp"
 #include "gpu/Gpu.hpp"
+#include "gpu/Stream.hpp"
+#include "gpu/ThreadPool.hpp"
 #include "mesh/GridMetrics.hpp"
 #include "resilience/Crc32.hpp"
 #include "resilience/StateValidator.hpp"
@@ -187,6 +190,38 @@ void CroccoAmr::fillPatch(int lev, MultiFab& dst) {
     }
 }
 
+void CroccoAmr::fillPatchBegin(int lev, MultiFab& dst) {
+    perf::TinyProfiler::Scope scope(prof_, "FillPatchBegin");
+    if (lev == 0) {
+        amr::FillPatchSingleLevelBegin(dst, U_[0], geom(0));
+    } else {
+        amr::FillPatchTwoLevelsBegin(dst, U_[lev], geom(lev));
+    }
+}
+
+void CroccoAmr::fillPatchEnd(int lev, MultiFab& dst) {
+    // No profiler scope here: this runs as task 0 of the fused halo launch
+    // and the enclosing computeRhsHaloAndEnd scope (opened on the calling
+    // thread, which is the thread that executes task 0) already covers it.
+    if (lev == 0) {
+        amr::FillPatchSingleLevelEnd(dst, geom(0), physBC_, time_);
+    } else {
+        amr::FillPatchTwoLevelsEnd(dst, U_[lev - 1], geom(lev), geom(lev - 1),
+                                   refRatio(), interpolater(), physBC_, physBC_,
+                                   time_, &coords_[lev], &coords_[lev - 1]);
+    }
+}
+
+int CroccoAmr::rhsGhostWidth() const {
+    // WENO interface fluxes reach 3 cells across a face; the viscous/SGS
+    // stencil (gradients of gradients) reaches 4. The interior box shrinks
+    // by this width in *all* dimensions, not per direction: that keeps each
+    // interior cell's complete dir0 -> dir1 -> dir2 (-> viscous) update
+    // sequence inside the interior pass, so the floating-point accumulation
+    // order per cell matches the unsplit path exactly.
+    return (cfg_.gas.viscous() || cfg_.sgs.active()) ? 4 : 3;
+}
+
 Real CroccoAmr::computeDtAllLevels() {
     perf::TinyProfiler::Scope scope(prof_, "ComputeDt");
     Real dt = std::numeric_limits<Real>::infinity();
@@ -222,16 +257,107 @@ void CroccoAmr::computeRhs(int lev, const MultiFab& Sborder, MultiFab& dU) {
     }
 }
 
+void CroccoAmr::computeRhsInterior(int lev, const MultiFab& Sborder,
+                                   MultiFab& dU) {
+    // Same launch structure as computeRhs, restricted to each fab's
+    // ghost-independent interior. Runs between fillPatchBegin and
+    // fillPatchEnd: every stencil read stays inside the valid region, which
+    // Begin has already copied (check builds verify this — Sborder's ghost
+    // cells are still poisoned here).
+    const auto dxi = geom(lev).cellSizeArray();
+    const int gw = rhsGhostWidth();
+    gpu::ScopedLaunchTag tag("interior");
+    static const char* wenoNames[3] = {"WENOx", "WENOy", "WENOz"};
+    for (int dir = 0; dir < 3; ++dir) {
+        perf::TinyProfiler::Scope scope(prof_, wenoNames[dir]);
+        gpu::ParallelForIndex(dU.numFabs(), [&](int f) {
+            const Box ib = dU.validBox(f).grow(-gw);
+            if (!ib.ok()) return; // patch too small; halo pass covers it all
+            wenoFlux(dir, Sborder.const_array(f), metrics_[lev].const_array(f),
+                     ib, dU.array(f), dxi[static_cast<std::size_t>(dir)],
+                     cfg_.gas, cfg_.scheme, cfg_.variant, cfg_.recon);
+        });
+    }
+    if (cfg_.gas.viscous() || cfg_.sgs.active()) {
+        perf::TinyProfiler::Scope scope(prof_, "Viscous");
+        gpu::ParallelForIndex(dU.numFabs(), [&](int f) {
+            const Box ib = dU.validBox(f).grow(-gw);
+            if (!ib.ok()) return;
+            viscousFlux(Sborder.const_array(f), metrics_[lev].const_array(f),
+                        ib, dU.array(f), dxi, cfg_.gas, cfg_.variant, cfg_.sgs);
+        });
+    }
+}
+
+void CroccoAmr::computeRhsHaloAndEnd(int lev, MultiFab& Sborder, MultiFab& dU) {
+    // One fused launch of numFabs()+1 tasks. The deterministic stripe
+    // schedule always runs task 0 first on the calling thread, so the
+    // exchange is guaranteed to drain: task 0 completes the FillPatch and
+    // signals endEvent; every halo task waits on the event before touching
+    // Sborder's ghost cells. The wait also publishes a happens-before edge
+    // to the race detector, which otherwise would (correctly) flag task 0's
+    // ghost writes against the halo tasks' ghost reads.
+    const auto dxi = geom(lev).cellSizeArray();
+    const int gw = rhsGhostWidth();
+    const bool viscous = cfg_.gas.viscous() || cfg_.sgs.active();
+    perf::TinyProfiler::Scope scope(prof_, "AdvanceHalo");
+    gpu::ScopedLaunchTag tag("halo+end");
+    gpu::Event endEvent;
+    gpu::ParallelForIndex(dU.numFabs() + 1, [&](int t) {
+        if (t == 0) {
+            // SignalGuard signals even if fillPatchEnd throws, so waiting
+            // halo tasks never deadlock on an exception unwind.
+            gpu::Event::SignalGuard guard(endEvent);
+            fillPatchEnd(lev, Sborder);
+            return;
+        }
+        endEvent.wait();
+        const int f = t - 1;
+        const Box valid = dU.validBox(f);
+        const Box ib = valid.grow(-gw);
+        const std::vector<Box> strips =
+            ib.ok() ? amr::boxDiff(valid, {ib}) : std::vector<Box>{valid};
+        auto s = Sborder.const_array(f);
+        auto m = metrics_[lev].const_array(f);
+        auto du = dU.array(f);
+        // Per strip the update order is dir0, dir1, dir2, viscous — each
+        // valid cell lies in exactly one strip, so its per-cell sequence
+        // (and therefore the result) is bitwise-identical to computeRhs.
+        for (const Box& strip : strips) {
+            for (int dir = 0; dir < 3; ++dir) {
+                wenoFlux(dir, s, m, strip, du,
+                         dxi[static_cast<std::size_t>(dir)], cfg_.gas,
+                         cfg_.scheme, cfg_.variant, cfg_.recon);
+            }
+            if (viscous)
+                viscousFlux(s, m, strip, du, dxi, cfg_.gas, cfg_.variant,
+                            cfg_.sgs);
+        }
+    });
+}
+
 void CroccoAmr::rk3Advance() {
     // Algorithm 2: three Williamson stages, each sweeping all levels with
     // the same global dt (no subcycling).
     for (int stage = 0; stage < Rk3::nStages; ++stage) {
         for (int lev = 0; lev <= finestLevel(); ++lev) {
             MultiFab Sborder(boxArray(lev), dmap(lev), NCONS, NGHOST, comm());
-            fillPatch(lev, Sborder); // includes BC_Fill
             MultiFab dU(boxArray(lev), dmap(lev), NCONS, 0, comm());
-            dU.setVal(0.0);
-            computeRhs(lev, Sborder, dU);
+            if (cfg_.overlap) {
+                // Overlapped variant: post the ghost exchange, evaluate the
+                // RHS over the ghost-independent interiors while it is in
+                // flight, then drain it fused with the halo-strip pass.
+                // Bitwise-identical to the serial branch below (pinned by
+                // tests/core/overlap_test).
+                fillPatchBegin(lev, Sborder);
+                dU.setVal(0.0);
+                computeRhsInterior(lev, Sborder, dU);
+                computeRhsHaloAndEnd(lev, Sborder, dU);
+            } else {
+                fillPatch(lev, Sborder); // includes BC_Fill
+                dU.setVal(0.0);
+                computeRhs(lev, Sborder, dU);
+            }
             {
                 perf::TinyProfiler::Scope scope(prof_, "Update");
                 // G <- A*G + dt*RHS;  U <- U + B*G.

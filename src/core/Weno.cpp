@@ -3,6 +3,7 @@
 #include "core/Eigen.hpp"
 
 #include "amr/FArrayBox.hpp"
+#include "gpu/Arena.hpp"
 #include "gpu/Gpu.hpp"
 #include "mesh/GridMetrics.hpp"
 
@@ -172,9 +173,12 @@ void wenoFluxPortable(int dir, const Array4<const Real>& S,
 
     // Scratch lives in (device) global memory, allocated from the host
     // before launch — the paper's fix for both in-kernel allocation and the
-    // data races of shared line scratch (§IV-B).
+    // data races of shared line scratch (§IV-B). Leased from the scratch
+    // pool: every cell/face written before read, so recycled storage is
+    // safe (and check builds re-poison it on each acquire anyway).
     const Box cellBox = validBox.grow(dir, 3);
-    FArrayBox scratch(cellBox, kCellFluxComps);
+    auto scratchLease = gpu::ScratchPool::instance().acquire(cellBox, kCellFluxComps);
+    FArrayBox& scratch = scratchLease.fab();
     auto sc = scratch.array();
 
     // Kernel 1: per-cell contravariant flux + spectral radius + metric row.
@@ -188,7 +192,8 @@ void wenoFluxPortable(int dir, const Array4<const Real>& S,
     // Kernel 2: one thread per interface; interface i+1/2 is stored at cell
     // index i, for i in [lo-1, hi].
     const Box faceBox(validBox.smallEnd() - e, validBox.bigEnd());
-    FArrayBox flux(faceBox, NCONS);
+    auto fluxLease = gpu::ScratchPool::instance().acquire(faceBox, NCONS);
+    FArrayBox& flux = fluxLease.fab();
     auto fx = flux.array();
     auto scc = scratch.const_array();
     gpu::ParallelFor(faceBox, [&](int i, int j, int k) {

@@ -45,4 +45,61 @@ void Arena::poisonFresh(double* p, std::size_t n) {
 #endif
 }
 
+ScratchPool& ScratchPool::instance() {
+    static ScratchPool pool;
+    return pool;
+}
+
+ScratchPool::Lease ScratchPool::acquire(const amr::Box& box, int ncomp) {
+    std::unique_ptr<amr::FArrayBox> fab;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = free_.find(Key{box.numPts(), ncomp});
+        if (it != free_.end() && !it->second.empty()) {
+            fab = std::move(it->second.back());
+            it->second.pop_back();
+            ++hits_;
+        } else {
+            ++misses_;
+        }
+    }
+    if (fab) {
+        fab->resize(box, ncomp); // same element count: rebind, no realloc
+    } else {
+        fab = std::make_unique<amr::FArrayBox>(box, ncomp);
+    }
+#ifdef CROCCO_CHECK
+    // Hit or miss, scratch behaves like a fresh device allocation: poisoned
+    // storage, Uninit shadow, fresh fab id.
+    fab->markUninitialized(box);
+#endif
+    return Lease(this, std::move(fab));
+}
+
+void ScratchPool::release(std::unique_ptr<amr::FArrayBox> fab) {
+    const Key key{fab->box().numPts(), fab->nComp()};
+    std::lock_guard<std::mutex> lock(m_);
+    free_[key].push_back(std::move(fab));
+}
+
+std::uint64_t ScratchPool::hits() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return hits_;
+}
+
+std::uint64_t ScratchPool::misses() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return misses_;
+}
+
+void ScratchPool::resetStats() {
+    std::lock_guard<std::mutex> lock(m_);
+    hits_ = misses_ = 0;
+}
+
+void ScratchPool::clear() {
+    std::lock_guard<std::mutex> lock(m_);
+    free_.clear();
+}
+
 } // namespace crocco::gpu

@@ -1,0 +1,51 @@
+#include "gpu/Stream.hpp"
+
+#ifdef CROCCO_CHECK
+#include "check/RaceDetector.hpp"
+#endif
+
+namespace crocco::gpu {
+
+void Event::signal() {
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (signaled_) return;
+        signaled_ = true;
+#ifdef CROCCO_CHECK
+        signalTask_ = check::RaceDetector::currentTask();
+#endif
+    }
+    cv_.notify_all();
+}
+
+void Event::wait() {
+    int signaler = -1;
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [this] { return signaled_; });
+        signaler = signalTask_;
+    }
+#ifdef CROCCO_CHECK
+    check::RaceDetector::instance().addHappensBefore(
+        signaler, check::RaceDetector::currentTask());
+#else
+    (void)signaler;
+#endif
+}
+
+bool Event::signaled() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return signaled_;
+}
+
+void Stream::synchronize() {
+    // Index loop, not iterators: an op may (in principle) enqueue more work.
+    while (next_ < ops_.size()) {
+        ops_[next_]();
+        ++next_;
+    }
+    ops_.clear();
+    next_ = 0;
+}
+
+} // namespace crocco::gpu

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace crocco::gpu {
+
+/// One-shot completion event, the CPU stand-in for cudaEvent_t.
+///
+/// Used to order ThreadPool tasks within one launch: the producer calls
+/// signal() as its *last* action, consumers call wait() as their *first* —
+/// that discipline is what makes the signal/wait pair a valid
+/// happens-before edge, and under -DCROCCO_CHECK it is reported to
+/// check::RaceDetector so the conflict scan treats the two tasks as
+/// sequenced rather than concurrent (the split advance's End-drain writes
+/// ghost cells the halo tasks read).
+///
+/// signal() is idempotent; wait() returns immediately once signaled. With
+/// the pool's deterministic stripe schedule the signaling task (task 0 of
+/// the fused halo launch) always starts first on the calling thread, so a
+/// launch mixing one signaler with waiting tasks cannot deadlock.
+class Event {
+public:
+    /// Mark complete and wake all waiters. Safe to call more than once.
+    void signal();
+
+    /// Block until signal(). Records the happens-before edge
+    /// (signaler task -> calling task) with the race detector when both
+    /// sides ran inside a tracked pool launch.
+    void wait();
+
+    bool signaled() const;
+
+    /// RAII signal-on-scope-exit. The producer constructs it at the top of
+    /// its task body so waiters are released even if the body throws
+    /// (ThreadPool captures the exception; without the guard every waiting
+    /// worker would hang forever behind the failed producer).
+    class SignalGuard {
+    public:
+        explicit SignalGuard(Event& e) : e_(e) {}
+        ~SignalGuard() { e_.signal(); }
+        SignalGuard(const SignalGuard&) = delete;
+        SignalGuard& operator=(const SignalGuard&) = delete;
+
+    private:
+        Event& e_;
+    };
+
+private:
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    bool signaled_ = false;
+    int signalTask_ = -1; ///< race-detector task index of the signaler
+};
+
+/// Deferred FIFO work queue, the CPU stand-in for a CUDA stream.
+///
+/// fillBoundaryBegin enqueues its ghost-exchange copies here instead of
+/// executing them; synchronize() (called from fillBoundaryEnd) drains them
+/// on the calling thread in enqueue order. Because the drain order equals
+/// the build order of the communication pattern, the data written — and
+/// the SimComm messages committed alongside — are byte-identical to the
+/// blocking fillBoundary path.
+///
+/// Single producer, single consumer: Begin enqueues and End drains from
+/// the same logical owner (the MultiFab's async-fill state), so no
+/// internal locking is needed.
+class Stream {
+public:
+    void enqueue(std::function<void()> op) { ops_.push_back(std::move(op)); }
+
+    /// Operations enqueued and not yet executed.
+    std::size_t pending() const { return ops_.size() - next_; }
+
+    /// Execute every pending operation on the calling thread, FIFO.
+    void synchronize();
+
+private:
+    std::vector<std::function<void()>> ops_;
+    std::size_t next_ = 0;
+};
+
+} // namespace crocco::gpu

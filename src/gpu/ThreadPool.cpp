@@ -18,7 +18,18 @@ namespace crocco::gpu {
 
 namespace {
 thread_local bool tlInTask = false;
+thread_local const char* tlLaunchTag = nullptr;
 } // namespace
+
+ScopedLaunchTag::ScopedLaunchTag(const char* tag) : prev_(tlLaunchTag) {
+    tlLaunchTag = tag;
+}
+
+ScopedLaunchTag::~ScopedLaunchTag() { tlLaunchTag = prev_; }
+
+const char* ScopedLaunchTag::current() {
+    return tlLaunchTag ? tlLaunchTag : "";
+}
 
 struct ThreadPool::Impl {
     std::mutex m;
@@ -39,7 +50,7 @@ struct ThreadPool::Impl {
 
     // Schedule tracing (single-threaded only; no locking needed).
     bool tracing = false;
-    std::vector<std::vector<double>> trace;
+    std::vector<TracedLaunch> trace;
 
     void runStripe(int tid) {
         tlInTask = true;
@@ -142,7 +153,7 @@ void ThreadPool::beginScheduleTrace() {
     impl_->tracing = true;
 }
 
-std::vector<std::vector<double>> ThreadPool::endScheduleTrace() {
+std::vector<TracedLaunch> ThreadPool::endScheduleTrace() {
     impl_->tracing = false;
     return std::move(impl_->trace);
 }
@@ -160,7 +171,8 @@ void ThreadPool::run(int ntasks, const std::function<void(int)>& f) {
                         std::chrono::steady_clock::now() - t0)
                         .count();
             }
-            impl_->trace.push_back(std::move(taskNs));
+            impl_->trace.push_back(
+                TracedLaunch{ScopedLaunchTag::current(), std::move(taskNs)});
             return;
         }
         for (int t = 0; t < ntasks; ++t) f(t);

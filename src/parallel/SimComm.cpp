@@ -103,4 +103,51 @@ double SimComm::reduceRealSum(const std::vector<double>& perRank, const std::str
     return std::accumulate(perRank.begin(), perRank.end(), 0.0);
 }
 
+namespace {
+std::string sendKey(int src, int dst, const std::string& tag) {
+    return std::to_string(src) + ">" + std::to_string(dst) + ":" + tag;
+}
+} // namespace
+
+SimComm::Request SimComm::isend(int src, int dst, std::int64_t bytes,
+                                MessageKind kind, const std::string& tag) {
+    assert(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
+    const Request id = nextRequest_++;
+    pending_.push_back(PendingOp{id, false, Message{src, dst, bytes, kind, tag}});
+    ++sendBalance_[sendKey(src, dst, tag)];
+    return id;
+}
+
+SimComm::Request SimComm::irecv(int src, int dst, const std::string& tag) {
+    assert(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
+    const Request id = nextRequest_++;
+    pending_.push_back(PendingOp{id, true, Message{src, dst, 0,
+                                                   MessageKind::PointToPoint, tag}});
+    return id;
+}
+
+void SimComm::waitall(const std::vector<Request>& requests) {
+    for (const Request r : requests) {
+        const auto it = std::find_if(pending_.begin(), pending_.end(),
+                                     [r](const PendingOp& p) { return p.id == r; });
+        if (it == pending_.end()) {
+            throw std::logic_error("SimComm::waitall: request " + std::to_string(r) +
+                                   " is unknown or already completed");
+        }
+        if (it->isRecv) {
+            auto bal = sendBalance_.find(sendKey(it->msg.src, it->msg.dst, it->msg.tag));
+            if (bal == sendBalance_.end() || bal->second <= 0) {
+                throw std::logic_error(
+                    "SimComm::waitall: irecv (" + std::to_string(it->msg.src) + " -> " +
+                    std::to_string(it->msg.dst) + ", '" + it->msg.tag +
+                    "') has no matching isend — a real MPI_Waitall would hang here");
+            }
+            --bal->second;
+        } else {
+            log_.record(it->msg);
+        }
+        pending_.erase(it);
+    }
+}
+
 } // namespace crocco::parallel

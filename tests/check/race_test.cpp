@@ -1,6 +1,7 @@
 #include "check/Check.hpp"
 #include "check/RaceDetector.hpp"
 #include "gpu/Gpu.hpp"
+#include "gpu/Stream.hpp"
 #include "problems/Dmr.hpp"
 
 #include <gtest/gtest.h>
@@ -134,6 +135,74 @@ TEST(RaceDetector, SerialExecutionIsUnrecorded) {
     ParallelForIndex(2, [&](int t) { a(0, 0, 0) = t; });
     EXPECT_EQ(cap.count(), 0u);
     EXPECT_EQ(det.launches(), before);
+}
+
+TEST(RaceDetector, EventOrderingSuppressesOrderedPairsOnly) {
+    ThreadGuard guard;
+    setNumThreads(4);
+    FArrayBox fab(Box(IntVect(0), IntVect(7)), 1);
+    auto a = fab.array();
+    auto r = fab.const_array();
+    {
+        // Producer/consumer sequenced through an Event (the fused End+halo
+        // launch shape): task 0 writes then signals as its LAST action, the
+        // readers wait FIRST — a real happens-before edge, so the detector
+        // must stay quiet despite the overlapping bboxes.
+        check::ScopedFailureCapture cap;
+        Event ready;
+        ParallelForIndex(3, [&](int t) {
+            if (t == 0) {
+                Event::SignalGuard sg(ready);
+                ParallelFor(fab.box(),
+                            [&](int i, int j, int k) { a(i, j, k) = 1.0; });
+                return;
+            }
+            ready.wait();
+            (void)r(t, t, t);
+        });
+        EXPECT_EQ(cap.count(), 0u)
+            << (cap.count() ? cap.violations()[0].message : std::string());
+    }
+    {
+        // The same shape WITHOUT the event ordering is still a race: only
+        // pairs connected by a signal->wait edge are suppressed.
+        check::ScopedFailureCapture cap;
+        ParallelForIndex(3, [&](int t) {
+            if (t == 0) {
+                ParallelFor(fab.box(),
+                            [&](int i, int j, int k) { a(i, j, k) = 2.0; });
+                return;
+            }
+            (void)r(t, t, t);
+        });
+        EXPECT_GE(cap.count(check::Kind::Race), 1u);
+    }
+}
+
+TEST(RaceDetector, OverlappedRk3AdvanceCleanAtEightThreads) {
+    // The split Begin/interior/End+halo advance must be race-free under the
+    // detector: ghost writes (task 0 of the fused launch) against halo
+    // reads are ordered by the End event, everything else is disjoint.
+    ThreadGuard guard;
+    problems::Dmr::Options o;
+    o.nx = 64;
+    o.ny = 16;
+    o.nz = 8;
+    o.maxLevel = 1;
+    problems::Dmr dmr(o);
+    auto cfg = dmr.solverConfig(core::CodeVersion::V20);
+    cfg.gpuNumThreads = 8;
+    cfg.regridFreq = 2;
+    cfg.overlap = true;
+    core::CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping());
+    auto& det = check::RaceDetector::instance();
+    const auto before = det.launches();
+    check::ScopedFailureCapture cap;
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+    solver.evolve(2);
+    EXPECT_EQ(cap.count(), 0u) << (cap.count() ? cap.violations()[0].message
+                                               : std::string());
+    EXPECT_GT(det.launches(), before) << "the detector actually engaged";
 }
 
 TEST(RaceDetector, StockRk3AdvanceCleanAtEightThreads) {

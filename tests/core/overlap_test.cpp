@@ -1,0 +1,93 @@
+// The overlapped advance (Config::overlap) must be BITWISE identical to the
+// serial path on a full DMR run — same interior/halo decomposition argument
+// docs/performance.md §4 lays out: every valid cell receives its complete
+// dir0 -> dir1 -> dir2 (-> viscous) update sequence within one pass, with
+// operands that are pure functions of Sborder/metrics at fixed indices, and
+// the Begin/End exchange replays the exact copies of the blocking path.
+//
+// Thread counts are swept in-test (1 = serial launches, 8 = striped pool
+// with the fused End+halo launch and its event ordering), so the _mt ctest
+// variant re-checks the same property under GPU_NUM_THREADS=4 as well.
+#include "core/CroccoAmr.hpp"
+
+#include "gpu/ThreadPool.hpp"
+#include "problems/Dmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace crocco::core {
+namespace {
+
+using problems::Dmr;
+
+Dmr::Options smallDmr() {
+    Dmr::Options o;
+    o.nx = 64;
+    o.ny = 16;
+    o.nz = 8;
+    o.maxLevel = 1;
+    return o;
+}
+
+std::unique_ptr<CroccoAmr> runDmr(bool overlap, int nsteps) {
+    Dmr dmr(smallDmr());
+    auto cfg = dmr.solverConfig(CodeVersion::V20);
+    cfg.regridFreq = 2; // include regrids in the compared trajectory
+    cfg.overlap = overlap;
+    auto s = std::make_unique<CroccoAmr>(dmr.geometry(), cfg, dmr.mapping());
+    s->init(dmr.initialCondition(), dmr.boundaryConditions());
+    s->evolve(nsteps);
+    return s;
+}
+
+void expectBitwiseEqual(const CroccoAmr& a, const CroccoAmr& b) {
+    ASSERT_EQ(a.finestLevel(), b.finestLevel());
+    EXPECT_EQ(a.time(), b.time());
+    EXPECT_EQ(a.lastDt(), b.lastDt());
+    for (int lev = 0; lev <= a.finestLevel(); ++lev) {
+        const amr::MultiFab& ua = a.state(lev);
+        const amr::MultiFab& ub = b.state(lev);
+        ASSERT_EQ(ua.boxArray(), ub.boxArray()) << "level " << lev;
+        for (int f = 0; f < ua.numFabs(); ++f) {
+            auto x = ua.const_array(f);
+            auto y = ub.const_array(f);
+            for (int n = 0; n < NCONS; ++n)
+                amr::forEachCell(ua.validBox(f), [&](int i, int j, int k) {
+                    EXPECT_EQ(x(i, j, k, n), y(i, j, k, n))
+                        << "level " << lev << " fab " << f << " comp " << n
+                        << " (" << i << "," << j << "," << k << ")";
+                });
+        }
+    }
+}
+
+TEST(Overlap, DmrStepBitwiseIdenticalToSerialPath) {
+    for (int nthreads : {1, 8}) {
+        gpu::setNumThreads(nthreads);
+        auto serial = runDmr(false, 4);
+        auto overlapped = runDmr(true, 4);
+        SCOPED_TRACE("nthreads=" + std::to_string(nthreads));
+        expectBitwiseEqual(*serial, *overlapped);
+        // The overlapped run exercised the split regions.
+        EXPECT_TRUE(overlapped->profiler().has("FillPatchBegin"));
+        EXPECT_TRUE(overlapped->profiler().has("AdvanceHalo"));
+        EXPECT_FALSE(serial->profiler().has("FillPatchBegin"));
+    }
+    gpu::setNumThreads(1);
+}
+
+TEST(Overlap, ThreadCountDoesNotChangeOverlappedResults) {
+    // Determinism within the overlapped path itself: the striped pool with
+    // the event-ordered fused launch must reproduce the serial-launch run.
+    gpu::setNumThreads(1);
+    auto t1 = runDmr(true, 3);
+    gpu::setNumThreads(8);
+    auto t8 = runDmr(true, 3);
+    gpu::setNumThreads(1);
+    expectBitwiseEqual(*t1, *t8);
+}
+
+} // namespace
+} // namespace crocco::core

@@ -96,10 +96,10 @@ TEST(ScalingSimulator, IterationTimeChargesResilienceOnlyWhenEnabled) {
     EXPECT_GT(rt.resilience, 0.0);
     // The charge is calibrated so resilience/total() is the waste fraction.
     const double frac = on.resilienceStats(c).overheadFraction;
-    EXPECT_NEAR(rt.resilience / rt.total(), frac, 1e-12);
+    EXPECT_NEAR(rt.resilience / rt.totalSerial(), frac, 1e-12);
     // All other regions are untouched by the failure model.
-    EXPECT_NEAR(rt.total() - rt.resilience, base.total(),
-                1e-12 * base.total());
+    EXPECT_NEAR(rt.totalSerial() - rt.resilience, base.totalSerial(),
+                1e-12 * base.totalSerial());
 }
 
 TEST(ScalingSimulator, ResilienceOverheadGrowsWithNodeCount) {

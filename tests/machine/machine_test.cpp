@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace crocco::machine {
 namespace {
 
@@ -105,8 +107,8 @@ TEST(ScalingSimulator, GpuKernelsFasterThanCpuPerIteration) {
     const std::int64_t pts = 1270000000;
     const auto cpu = sim.iterationTime({CodeVersion::V12, 64, pts});
     const auto gpu = sim.iterationTime({CodeVersion::V20, 64, pts});
-    EXPECT_GT(cpu.advance / gpu.advance, 3.0);
-    EXPECT_GT(gpu.fillPatch() / gpu.total(), cpu.fillPatch() / cpu.total());
+    EXPECT_GT(cpu.advance() / gpu.advance(), 3.0);
+    EXPECT_GT(gpu.fillPatch() / gpu.totalSerial(), cpu.fillPatch() / cpu.totalSerial());
 }
 
 TEST(ScalingSimulator, StrongScalingEndpointSpeedupsInPaperBand) {
@@ -116,12 +118,12 @@ TEST(ScalingSimulator, StrongScalingEndpointSpeedupsInPaperBand) {
     const std::int64_t pts = 1270000000;
     const auto lo12 = sim.iterationTime({CodeVersion::V12, 16, pts});
     const auto lo20 = sim.iterationTime({CodeVersion::V20, 16, pts});
-    const double sLow = lo12.total() / lo20.total();
+    const double sLow = lo12.totalSerial() / lo20.totalSerial();
     EXPECT_GT(sLow, 15.0);
     EXPECT_LT(sLow, 100.0);
     const auto hi12 = sim.iterationTime({CodeVersion::V12, 1024, pts});
     const auto hi20 = sim.iterationTime({CodeVersion::V20, 1024, pts});
-    const double sHigh = hi12.total() / hi20.total();
+    const double sHigh = hi12.totalSerial() / hi20.totalSerial();
     EXPECT_GT(sHigh, 2.0);
     EXPECT_LT(sHigh, sLow); // speedup shrinks with node count
 }
@@ -133,7 +135,7 @@ TEST(ScalingSimulator, WeakScalingEfficiencyDegradesForGpu) {
     auto eff = [&](CodeVersion v, int nodes, std::int64_t pts) {
         const auto base = sim.iterationTime({v, 4, 164000000});
         const auto at = sim.iterationTime({v, nodes, pts});
-        return base.total() / at.total();
+        return base.totalSerial() / at.totalSerial();
     };
     const double e20 = eff(CodeVersion::V20, 400, 16400000000ll);
     const double e21 = eff(CodeVersion::V21, 400, 16400000000ll);
@@ -148,11 +150,11 @@ TEST(ScalingSimulator, FillPatchShareGrowsWithNodes) {
     auto sim = makeSim();
     const auto small = sim.iterationTime({CodeVersion::V21, 4, 164000000});
     const auto large = sim.iterationTime({CodeVersion::V21, 400, 16400000000ll});
-    EXPECT_GT(large.fillPatch() / large.total(),
-              small.fillPatch() / small.total());
+    EXPECT_GT(large.fillPatch() / large.totalSerial(),
+              small.fillPatch() / small.totalSerial());
     // Advance stays roughly steady (box-count quantization adds some noise,
     // as the paper's own low-node-count imbalance does).
-    EXPECT_NEAR(large.advance, small.advance, 0.8 * small.advance);
+    EXPECT_NEAR(large.advance(), small.advance(), 0.8 * small.advance());
 }
 
 TEST(ScalingSimulator, GpuMemoryFitsTableOneCases) {
@@ -175,20 +177,52 @@ TEST(ScalingSimulator, GpuMemoryFitsTableOneCases) {
 TEST(ScalingSimulator, RegionTimesArePositiveAndComplete) {
     auto sim = makeSim();
     const auto rt = sim.iterationTime({CodeVersion::V20, 16, 655000000});
-    EXPECT_GT(rt.advance, 0.0);
+    EXPECT_GT(rt.advance(), 0.0);
     EXPECT_GT(rt.fillBoundary, 0.0);
     EXPECT_GT(rt.parallelCopy, 0.0);
     EXPECT_GT(rt.parallelCopyInterp, 0.0); // curvilinear interpolator
     EXPECT_GT(rt.computeDt, 0.0);
     EXPECT_GT(rt.averageDown, 0.0);
     EXPECT_GT(rt.regrid, 0.0);
-    EXPECT_NEAR(rt.total(),
-                rt.fillPatch() + rt.advance + rt.update + rt.computeDt +
-                    rt.averageDown + rt.regrid,
+    EXPECT_GT(rt.commPosted, 0.0); // GPU runs pay the async-posting cost
+    EXPECT_NEAR(rt.totalSerial(),
+                rt.commPosted + rt.fillPatch() + rt.advance() + rt.update +
+                    rt.computeDt + rt.averageDown + rt.regrid,
                 1e-12);
     // v2.1 must lack the coordinate gather.
     const auto rt21 = sim.iterationTime({CodeVersion::V21, 16, 655000000});
     EXPECT_EQ(rt21.parallelCopyInterp, 0.0);
+}
+
+TEST(ScalingSimulator, OverlappedScheduleNeverSlowerAndBounded) {
+    // The overlapped schedule hides min(commWait, advanceInterior) behind
+    // the interior pass and nothing else: totalOverlapped is bounded below
+    // by the serial total minus the hidden time (exactly equal, in fact)
+    // and above by the serial total.
+    auto sim = makeSim();
+    for (int nodes : {4, 16, 64, 400, 1024, 4096}) {
+        const auto rt = sim.iterationTime(
+            {CodeVersion::V20, nodes, 41000000ll * nodes});
+        const double hidden = std::min(rt.commWait(), rt.advanceInterior);
+        EXPECT_LE(rt.totalOverlapped(), rt.totalSerial());
+        EXPECT_NEAR(rt.totalOverlapped(), rt.totalSerial() - hidden,
+                    1e-12 * rt.totalSerial());
+        EXPECT_GE(rt.overlapEfficiency(), 0.0);
+        EXPECT_LE(rt.overlapEfficiency(), 1.0);
+        EXPECT_NEAR(rt.overlapEfficiency() * rt.commWait(), hidden,
+                    1e-12 * rt.totalSerial());
+    }
+}
+
+TEST(ScalingSimulator, OverlapEfficiencyDegradesWhenCommDominates) {
+    // Weak scaling pushes commWait past the interior compute, so the
+    // fraction of communication the overlap can hide must fall with node
+    // count (the overlap model's analog of Fig. 5's efficiency droop).
+    auto sim = makeSim();
+    const auto small = sim.iterationTime({CodeVersion::V20, 4, 164000000});
+    const auto large =
+        sim.iterationTime({CodeVersion::V20, 1024, 41984000000ll});
+    EXPECT_LT(large.overlapEfficiency(), small.overlapEfficiency());
 }
 
 } // namespace

@@ -18,6 +18,10 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci -j "$JOBS" >/dev/null
 (cd build-ci && ctest --output-on-failure)
 
+echo "== perf benches (BENCH_PR2 + BENCH_PR4) =="
+bench/run_bench.sh build-ci BENCH_PR2.json
+bench/run_bench_pr4.sh build-ci BENCH_PR4.json
+
 echo "== CroccoCheck (Release + CROCCO_CHECK) =="
 cmake -B build-ci-check -S . -DCMAKE_BUILD_TYPE=Release -DCROCCO_CHECK=ON \
       -DCROCCO_BUILD_BENCH=OFF -DCROCCO_BUILD_EXAMPLES=OFF >/dev/null

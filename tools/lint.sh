@@ -16,6 +16,11 @@
 #   R4  No amr::forEachCell in the flux/transport kernel files. Kernels
 #       iterate through gpu::ParallelFor so thread scaling and the race
 #       detector cover them.
+#   R5  Every fillBoundaryBegin / FillPatch...Begin in src/ must have a
+#       matching End in the same file (per-file count parity). A Begin whose
+#       End never runs leaves the exchange permanently in flight; the next
+#       Begin aborts at runtime, but the lint catches the mismatch at review
+#       time.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -52,6 +57,29 @@ r4=$(grep -n 'forEachCell' src/core/Weno.cpp src/core/Viscous.cpp \
      src/core/Sgs.cpp src/core/Rans.cpp src/core/SpeciesTransport.cpp \
      2>/dev/null || true)
 report "R4 (forEachCell in kernel file)" "$r4"
+
+# R5: Begin/End pairing of the async exchange, per file. Counts call sites
+# of each Begin entry point against its End in the same file; declarations
+# and definitions in the amr/ sources that implement the API are skipped
+# (tests deliberately misuse the API, so only src/ is scanned).
+r5=""
+for pair in "fillBoundaryBegin fillBoundaryEnd" \
+            "FillPatchSingleLevelBegin FillPatchSingleLevelEnd" \
+            "FillPatchTwoLevelsBegin FillPatchTwoLevelsEnd"; do
+    begin=${pair% *}
+    end=${pair#* }
+    for f in $(grep -rlE "$begin|$end" src/ --include='*.cpp' 2>/dev/null \
+               | grep -v '^src/amr/'); do
+        nb=$(grep -cE "\b$begin\(" "$f" || true)
+        ne=$(grep -cE "\b$end\(" "$f" || true)
+        if [ "$nb" != "$ne" ]; then
+            r5="$r5
+$f: $nb $begin vs $ne $end"
+        fi
+    done
+done
+r5=$(echo "$r5" | sed '/^$/d')
+report "R5 (async exchange Begin without matching End)" "$r5"
 
 # clang-tidy (optional): uses .clang-tidy at the repo root. Needs a compile
 # database; generate one on demand in build-tidy/ if a compiler is around.
