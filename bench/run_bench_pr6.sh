@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs the PR6 recovery bench and composes its JSON into BENCH_PR6.json:
+# the Daly recovery-waste fraction for disk restart vs in-memory buddy
+# recovery at 1..4096 nodes (weak scaling), plus the verified-exchange
+# retransmit overhead at the soak campaign's fault rate.
+#
+# Usage: bench/run_bench_pr6.sh [build-dir] [output.json]
+set -e
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_PR6.json}
+
+if [ ! -x "$BUILD/bench/recovery" ]; then
+    echo "error: $BUILD/bench/recovery not built (cmake --build $BUILD --target recovery)" >&2
+    exit 1
+fi
+
+RECOVERY=$("$BUILD/bench/recovery")
+
+{
+    echo '{'
+    echo '  "bench": "PR6: fault-tolerant communication (disk vs buddy recovery waste, retransmit overhead)",'
+    echo "  \"recovery\": $RECOVERY"
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

@@ -83,6 +83,10 @@ protected:
     void setLevel(int lev, const BoxArray& ba, const DistributionMapping& dm);
     void setFinestLevel(int lev) { finestLevel_ = lev; }
 
+    /// Adopt a shrunk communicator's size after a rank death (the derived
+    /// recovery path rebuilds every DistributionMapping to match).
+    void setNumRanks(int nranks) { nranks_ = nranks; }
+
 private:
     AmrInfo info_;
     int nranks_;

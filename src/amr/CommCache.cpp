@@ -104,6 +104,17 @@ void CommCache::invalidate(std::uint64_t baId) {
     }
 }
 
+void CommCache::noteCommSize(int nranks) {
+    if (nranks == commSize_) return;
+    if (commSize_ != 0) {
+        // Communicator changed size (rank death + shrink): every cached
+        // pattern was recorded under the old rank numbering's hierarchy.
+        stats_.invalidations += static_cast<std::int64_t>(map_.size());
+        clear();
+    }
+    commSize_ = nranks;
+}
+
 void CommCache::clear() {
     lru_.clear();
     map_.clear();

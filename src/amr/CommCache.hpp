@@ -104,6 +104,19 @@ public:
     /// Drop every entry whose key mentions `baId` as source or destination.
     void invalidate(std::uint64_t baId);
 
+    /// Guard against a shrunk communicator: patterns themselves are
+    /// rank-independent, but the replay of a cached pattern records
+    /// messages with the *current* DistributionMapping — and after a rank
+    /// death every mapping in the hierarchy is rebuilt, so replaying
+    /// against a half-updated hierarchy would mix old and new rank
+    /// numberings. The first call records the communicator size; a later
+    /// call with a different size drops every entry (counted as
+    /// invalidations) and re-records.
+    void noteCommSize(int nranks);
+
+    /// Communicator size last noted; 0 before the first noteCommSize.
+    int notedCommSize() const { return commSize_; }
+
     void clear();
     void resetStats() { stats_ = {}; }
     const Stats& stats() const { return stats_; }
@@ -119,6 +132,7 @@ private:
     std::list<Entry> lru_; // front = most recently used
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
     std::size_t capacity_ = 64;
+    int commSize_ = 0;
     bool enabled_ = true;
     perf::TinyProfiler* prof_ = nullptr;
     Stats stats_;

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <numeric>
 #include <queue>
+#include <stdexcept>
 
 namespace crocco::amr {
 
@@ -90,6 +91,39 @@ std::vector<std::int64_t> DistributionMapping::pointsPerRank(const BoxArray& ba)
     std::vector<std::int64_t> pts(nranks_, 0);
     for (int i = 0; i < size(); ++i) pts[owner_[i]] += ba[i].numPts();
     return pts;
+}
+
+DistributionMapping DistributionMapping::excludeRank(int deadRank,
+                                                     const BoxArray& ba) const {
+    if (deadRank < 0 || deadRank >= nranks_)
+        throw std::invalid_argument(
+            "DistributionMapping::excludeRank: rank " +
+            std::to_string(deadRank) + " out of range (nranks=" +
+            std::to_string(nranks_) + ")");
+    if (nranks_ <= 1)
+        throw std::logic_error(
+            "DistributionMapping::excludeRank: no survivor would remain");
+    assert(ba.size() == size());
+    const int newRanks = nranks_ - 1;
+    // Survivors keep their boxes under the shrunk numbering; load per new
+    // rank seeds the reassignment of the orphaned boxes.
+    std::vector<int> owner(owner_.size(), -1);
+    std::vector<std::int64_t> load(static_cast<std::size_t>(newRanks), 0);
+    for (int i = 0; i < size(); ++i) {
+        if (owner_[i] == deadRank) continue;
+        const int nr = owner_[i] > deadRank ? owner_[i] - 1 : owner_[i];
+        owner[i] = nr;
+        load[nr] += ba[i].numPts();
+    }
+    for (int i = 0; i < size(); ++i) {
+        if (owner[i] != -1) continue;
+        int best = 0;
+        for (int r = 1; r < newRanks; ++r)
+            if (load[r] < load[best]) best = r;
+        owner[i] = best;
+        load[best] += ba[i].numPts();
+    }
+    return DistributionMapping(std::move(owner), newRanks);
 }
 
 double DistributionMapping::imbalance(const BoxArray& ba) const {

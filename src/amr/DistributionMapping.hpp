@@ -36,6 +36,17 @@ public:
     /// max(points per rank) / mean(points per rank); 1.0 is perfect.
     double imbalance(const BoxArray& ba) const;
 
+    /// Rebuild this mapping over a communicator that lost `deadRank`
+    /// (post-shrink rank recovery): surviving owners keep their boxes and
+    /// are renumbered densely (r > deadRank → r - 1, matching
+    /// SimComm::shrink), and each of the dead rank's boxes moves to the
+    /// survivor with the least total cells at that point (deterministic:
+    /// ties break to the lowest new rank, boxes processed in index order).
+    /// Keeping survivors' boxes in place minimizes redistribution traffic —
+    /// only the dead rank's data moves. Throws std::invalid_argument on a
+    /// bad rank and std::logic_error when no survivor would remain.
+    DistributionMapping excludeRank(int deadRank, const BoxArray& ba) const;
+
     bool operator==(const DistributionMapping& o) const {
         return owner_ == o.owner_ && nranks_ == o.nranks_;
     }

@@ -4,10 +4,12 @@
 #include "check/Check.hpp"
 #include "gpu/Gpu.hpp"
 #include "gpu/Stream.hpp"
+#include "resilience/Crc32.hpp"
 
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -32,6 +34,51 @@ struct MaybeScope {
     }
 };
 
+/// CRC32 of one fab rectangle (the payload of a single copy descriptor):
+/// cells in forEachCell (Fortran) order, components outermost, chained per
+/// Real. Sender and receiver checksum the same region shape in the same
+/// order, so equal data ⟺ equal checksum.
+std::uint32_t regionCrc(const FArrayBox& f, const Box& region, int comp,
+                        int ncomp) {
+    std::uint32_t crc = 0;
+    auto a = f.const_array();
+    for (int n = comp; n < comp + ncomp; ++n) {
+        forEachCell(region, [&](int i, int j, int k) {
+            const Real v = a(i, j, k, n);
+            crc = resilience::crc32(&v, sizeof(Real), crc);
+        });
+    }
+    return crc;
+}
+
+/// Flip one bit of one Real inside a fab rectangle — the payload damage a
+/// Corrupt fault does in flight. `word` deterministically selects the cell,
+/// component, and bit.
+void scrambleRegionBit(FArrayBox& f, const Box& region, int comp, int ncomp,
+                       std::uint64_t word) {
+    const std::int64_t nvals = region.numPts() * ncomp;
+    if (nvals <= 0) return;
+    const std::int64_t target =
+        static_cast<std::int64_t>(word % static_cast<std::uint64_t>(nvals));
+    const unsigned bit =
+        static_cast<unsigned>((word >> 32) % (sizeof(Real) * 8));
+    auto a = f.array();
+    std::int64_t idx = 0;
+    bool done = false;
+    for (int n = comp; n < comp + ncomp && !done; ++n) {
+        forEachCell(region, [&](int i, int j, int k) {
+            if (done || idx++ != target) return;
+            Real v = a(i, j, k, n);
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, &v, sizeof(Real));
+            bits ^= (std::uint64_t{1} << bit);
+            std::memcpy(&v, &bits, sizeof(Real));
+            a(i, j, k, n) = v;
+            done = true;
+        });
+    }
+}
+
 } // namespace
 
 /// Pattern snapshot + deferred copies + posted message requests of one
@@ -42,6 +89,12 @@ struct MultiFab::AsyncFillState {
     CommPattern pattern;
     gpu::Stream stream;
     std::vector<parallel::SimComm::Request> requests;
+    /// Hardened mode only: sender-side CRC per copy descriptor, computed at
+    /// Begin (the source valid data is immutable while the exchange is in
+    /// flight); 0 for on-rank copies. End verifies the delivered ghosts
+    /// against these.
+    std::vector<std::uint32_t> srcCrcs;
+    bool verified = false;
 };
 
 MultiFab::MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
@@ -123,14 +176,47 @@ void MultiFab::replay(const CommPattern& pattern, const MultiFab& src,
     // never writes (valid cells of siblings / a const source MultiFab), so
     // descriptor order is free — but SimComm recording must match the build
     // order byte for byte, so the replay stays serial and in order.
+    const bool verified = comm_ && comm_->exchangeVerification();
     for (const CopyDescriptor& d : pattern.copies) {
+        const int srcRank = src.distributionMap()[d.srcFab];
+        const int dstRank = dm_[d.dstFab];
+        if (verified && srcRank != dstRank) {
+            // Hardened path: the descriptor's copy is the payload delivery,
+            // wrapped in CRC verification + the fault injector. Byte order
+            // of the recorded stream matches the plain path (one message
+            // per off-rank descriptor, in build order), with fault traffic
+            // (retransmits, NACKs) appended where faults strike.
+            const std::int64_t bytes =
+                d.npts * numComp * static_cast<std::int64_t>(sizeof(Real));
+            const Box srcRegion = d.region.shift(d.shift);
+            parallel::SimComm::Transfer t;
+            t.src = srcRank;
+            t.dst = dstRank;
+            t.bytes = bytes;
+            t.kind = p2p ? parallel::MessageKind::PointToPoint
+                         : parallel::MessageKind::ParallelCopy;
+            t.tag = tag;
+            t.deliver = [&, this] {
+                fabs_[d.dstFab].copyFrom(src.fab(d.srcFab), d.region, srcComp,
+                                         destComp, numComp, d.shift);
+            };
+            t.payloadCrc = [&] {
+                return regionCrc(src.fab(d.srcFab), srcRegion, srcComp, numComp);
+            };
+            t.deliveredCrc = [&, this] {
+                return regionCrc(fabs_[d.dstFab], d.region, destComp, numComp);
+            };
+            t.scramble = [&, this](std::uint64_t w) {
+                scrambleRegionBit(fabs_[d.dstFab], d.region, destComp, numComp, w);
+            };
+            comm_->sendVerified(t);
+            continue;
+        }
         fabs_[d.dstFab].copyFrom(src.fab(d.srcFab), d.region, srcComp, destComp,
                                  numComp, d.shift);
         if (!comm_) continue;
         const std::int64_t bytes =
             d.npts * numComp * static_cast<std::int64_t>(sizeof(Real));
-        const int srcRank = src.distributionMap()[d.srcFab];
-        const int dstRank = dm_[d.dstFab];
         if (p2p) {
             comm_->recordP2P(srcRank, dstRank, bytes, tag);
         } else if (srcRank != dstRank) {
@@ -190,6 +276,7 @@ CommPattern MultiFab::buildFillBoundaryPattern(
 void MultiFab::fillBoundary(const Geometry& geom) {
     const auto shifts = geom.periodicShifts();
     CommCache& cache = CommCache::instance();
+    if (comm_) cache.noteCommSize(comm_->size());
     const CommCache::Key key{ba_.id(), ba_.id(), ngrow_, 0, hashShifts(shifts),
                              CommCache::FillBoundary};
     const bool cacheable = cache.enabled() && ba_.id() != 0;
@@ -220,10 +307,12 @@ void MultiFab::fillBoundaryBegin(const Geometry& geom) {
     }
     const auto shifts = geom.periodicShifts();
     CommCache& cache = CommCache::instance();
+    if (comm_) cache.noteCommSize(comm_->size());
     const CommCache::Key key{ba_.id(), ba_.id(), ngrow_, 0, hashShifts(shifts),
                              CommCache::FillBoundary};
     const bool cacheable = cache.enabled() && ba_.id() != 0;
     auto st = std::make_unique<AsyncFillState>();
+    st->verified = comm_ && comm_->exchangeVerification();
     bool resolved = false;
     if (cacheable) {
         if (const CommPattern* pat = cache.lookup(key, ba_.size(), ba_.size())) {
@@ -249,15 +338,36 @@ void MultiFab::fillBoundaryBegin(const Geometry& geom) {
             fabs_[d.dstFab].copyFrom(fabs_[d.srcFab], d.region, 0, 0, ncomp_,
                                      d.shift);
         });
-        if (!comm_) continue;
+        if (!comm_) {
+            continue;
+        }
         const int srcRank = dm_[d.srcFab];
         const int dstRank = dm_[d.dstFab];
-        if (srcRank == dstRank) continue; // on-rank copies never hit the network
+        if (srcRank == dstRank) { // on-rank copies never hit the network
+            if (st->verified) st->srcCrcs.push_back(0);
+            continue;
+        }
         const std::int64_t bytes =
             d.npts * ncomp_ * static_cast<std::int64_t>(sizeof(Real));
+        std::uint32_t crc = 0;
+        if (st->verified) {
+            // Checksum the payload at post time: the source valid cells are
+            // immutable while the exchange is in flight (that is the overlap
+            // contract), so this is the CRC the wire carries.
+            crc = regionCrc(fabs_[d.srcFab], d.region.shift(d.shift), 0, ncomp_);
+            st->srcCrcs.push_back(crc);
+        }
         st->requests.push_back(comm_->isend(
             srcRank, dstRank, bytes, parallel::MessageKind::PointToPoint,
-            "FillBoundary"));
+            "FillBoundary", crc));
+        if (st->verified) {
+            // The hardened exchange posts the matching receive (lint rule
+            // R6: a posted payload always has a receiver with a timeout +
+            // CRC policy). The plain path keeps the seed's send-only
+            // recording so its message stream stays byte-identical.
+            st->requests.push_back(comm_->irecv(srcRank, dstRank,
+                                                "FillBoundary"));
+        }
     }
     asyncFill_ = std::move(st);
 }
@@ -271,6 +381,43 @@ void MultiFab::fillBoundaryEnd(const std::source_location& loc) {
     }
     asyncFill_->stream.synchronize();
     if (comm_) comm_->waitall(asyncFill_->requests);
+    if (comm_ && asyncFill_->verified) {
+        // Post-hoc verification of the drained exchange: every off-rank
+        // payload is CRC-checked against the checksum posted at Begin;
+        // corruption/duplication faults strike here (the async analogue of
+        // sendVerified) and are NACK'd + retransmitted before the caller
+        // sees the ghosts.
+        std::size_t ci = 0;
+        for (const CopyDescriptor& d : asyncFill_->pattern.copies) {
+            const int srcRank = dm_[d.srcFab];
+            const int dstRank = dm_[d.dstFab];
+            if (srcRank == dstRank) {
+                ++ci;
+                continue;
+            }
+            const std::int64_t bytes =
+                d.npts * ncomp_ * static_cast<std::int64_t>(sizeof(Real));
+            const std::uint32_t want = asyncFill_->srcCrcs[ci++];
+            parallel::SimComm::Transfer t;
+            t.src = srcRank;
+            t.dst = dstRank;
+            t.bytes = bytes;
+            t.kind = parallel::MessageKind::PointToPoint;
+            t.tag = "FillBoundary";
+            t.deliver = [this, d] {
+                fabs_[d.dstFab].copyFrom(fabs_[d.srcFab], d.region, 0, 0,
+                                         ncomp_, d.shift);
+            };
+            t.payloadCrc = [want] { return want; };
+            t.deliveredCrc = [this, d] {
+                return regionCrc(fabs_[d.dstFab], d.region, 0, ncomp_);
+            };
+            t.scramble = [this, d](std::uint64_t w) {
+                scrambleRegionBit(fabs_[d.dstFab], d.region, 0, ncomp_, w);
+            };
+            comm_->verifyDelivered(t);
+        }
+    }
     asyncFill_.reset();
 }
 
@@ -283,6 +430,7 @@ void MultiFab::parallelCopy(const MultiFab& src, int srcComp, int destComp,
     std::vector<IntVect> shifts{IntVect::zero()};
     if (geomForPeriodicity) shifts = geomForPeriodicity->periodicShifts();
     CommCache& cache = CommCache::instance();
+    if (comm_) cache.noteCommSize(comm_->size());
     const CommCache::Key key{src.boxArray().id(), ba_.id(), dstNGrow, srcNGrow,
                              hashShifts(shifts), CommCache::ParallelCopy};
     const bool cacheable =

@@ -10,6 +10,7 @@
 #include "resilience/Crc32.hpp"
 #include "resilience/StateValidator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <filesystem>
@@ -86,6 +87,15 @@ CroccoAmr::CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
     cache.setEnabled(cfg.commCache);
     cache.setCapacity(static_cast<std::size_t>(std::max(cfg.commCacheCapacity, 0)));
     cache.attachProfiler(&prof_);
+    if (auto* c = this->comm()) {
+        // Hardened-exchange policy from the deck (comm.* keys). Zero-valued
+        // knobs keep SimComm's defaults so decks without the keys are
+        // byte-identical to the seed.
+        if (cfg.commTimeout > 0.0) c->setTimeout(cfg.commTimeout);
+        if (cfg.commMaxRetransmits > 0)
+            c->setMaxRetransmits(cfg.commMaxRetransmits);
+        if (cfg.commVerify) c->setVerifyExchanges(true);
+    }
 }
 
 CroccoAmr::~CroccoAmr() {
@@ -381,6 +391,15 @@ void CroccoAmr::rk3Advance() {
 }
 
 void CroccoAmr::step() {
+    // Scheduled rank deaths fire at step boundaries: the node dies between
+    // iterations, and the first communication touching it — a regrid
+    // exchange, the ComputeDt reduction, or an RK3 waitall — raises
+    // RankFailure for evolve()'s recovery path.
+    if (auto* c = comm()) {
+        if (auto* f = c->faults()) {
+            if (const auto dead = f->takeRankDeath(step_)) c->killRank(*dead);
+        }
+    }
     const int freq = cfg_.regridFreq > 0 ? cfg_.regridFreq : estimateRegridFreq();
     if (maxLevel() > 0 && step_ % freq == 0) {
         perf::TinyProfiler::Scope scope(prof_, "Regrid");
@@ -441,11 +460,14 @@ void CroccoAmr::evolve(int nsteps) {
 void CroccoAmr::evolve(int nsteps, const EvolveOptions& opts) {
     const int target = step_ + nsteps;
     const bool checkpointing = opts.restart && opts.checkpointEvery > 0;
+    const bool buddying = opts.buddy && opts.buddyEvery > 0;
     // Seed a recovery point before the first step so a divergence early in
     // the run still has somewhere to fall back to.
     if (checkpointing && opts.restart->available().empty())
         opts.restart->write(step_,
                             [&](const std::string& d) { writeCheckpoint(d); });
+    if (buddying && !opts.buddy->valid())
+        opts.buddy->store(U_, finestLevel(), step_, time_, comm());
     int recoveries = 0;
     while (step_ < target) {
         try {
@@ -458,11 +480,89 @@ void CroccoAmr::evolve(int nsteps, const EvolveOptions& opts) {
                 readCheckpoint(d, init_, physBC_);
             });
             continue;
+        } catch (const parallel::RankFailure& rf) {
+            if (recoveries >= opts.maxRecoveries) throw;
+            ++recoveries;
+            ++recoveryCount_;
+            if (recoverFromRankDeath(rf.deadRank(), opts)) {
+                ++buddyRecoveryCount_;
+            } else {
+                // No usable buddy copy (none stored, or the replica died
+                // with the rank): full disk restore. The communicator is
+                // already shrunk; readCheckpoint rebuilds the mappings
+                // over the survivors.
+                if (!opts.restart) throw;
+                ++diskRecoveryCount_;
+                opts.restart->restoreLatest([&](const std::string& d) {
+                    readCheckpoint(d, init_, physBC_);
+                });
+            }
+            continue;
         }
         if (checkpointing && step_ % opts.checkpointEvery == 0)
             opts.restart->write(
                 step_, [&](const std::string& d) { writeCheckpoint(d); });
+        if (buddying && step_ % opts.buddyEvery == 0)
+            opts.buddy->store(U_, finestLevel(), step_, time_, comm());
     }
+}
+
+bool CroccoAmr::recoverFromRankDeath(int deadRank, const EvolveOptions& opts) {
+    auto* c = comm();
+    assert(c && !c->rankAlive(deadRank));
+    // Decide the restore source *before* the shrink: the buddy partner must
+    // have survived, judged under the snapshot's (pre-death) numbering.
+    const bool useBuddy =
+        opts.buddy && opts.buddy->canRecover(deadRank) &&
+        opts.buddy->nranks() == c->size() &&
+        c->rankAlive(
+            resilience::BuddyCheckpoint::partnerOf(deadRank, c->size()));
+    // ULFM sequence: revoke + shrink. Survivors are renumbered densely,
+    // pending ops are revoked, and every layer tracking the communicator
+    // size follows suit.
+    c->shrink();
+    setNumRanks(c->size());
+    amr::CommCache::instance().noteCommSize(c->size());
+    if (!useBuddy) return false;
+
+    const resilience::BuddyCheckpoint& snap = *opts.buddy;
+    time_ = static_cast<Real>(snap.time());
+    step_ = snap.step();
+    // Levels above the snapshot's finest (possible when a regrid between
+    // the snapshot and the death added a level) still hold pre-shrink
+    // mappings; drop them before they can be touched.
+    for (int lev = snap.finestLevel() + 1; lev <= finestLevel(); ++lev)
+        clearLevel(lev);
+    for (int lev = 0; lev <= snap.finestLevel(); ++lev) {
+        const amr::MultiFab& s = snap.level(lev);
+        const BoxArray ba = s.boxArray();
+        // Survivors keep their boxes; the dead rank's boxes are poured onto
+        // the least-loaded survivors — only that data crosses the network.
+        const DistributionMapping dm =
+            s.distributionMap().excludeRank(deadRank, ba);
+        setLevel(lev, ba, dm);
+        setFinestLevel(lev);
+        defineLevelData(lev, ba, dm);
+        for (int f = 0; f < s.numFabs(); ++f) {
+            U_[lev].fab(f).copyFrom(s.fab(f), ba[f], 0, 0, NCONS);
+            if (s.distributionMap()[f] != deadRank) continue;
+            // This box's owner died: its replica streams from the buddy
+            // partner to the new owner (both in post-shrink numbering).
+            const int partnerOld = resilience::BuddyCheckpoint::partnerOf(
+                deadRank, snap.nranks());
+            const int partnerNew =
+                partnerOld > deadRank ? partnerOld - 1 : partnerOld;
+            const std::int64_t bytes =
+                ba[f].numPts() * NCONS *
+                static_cast<std::int64_t>(sizeof(Real));
+            c->recordP2P(partnerNew, dm[f], bytes, "RankRecovery");
+        }
+    }
+    // The snapshot's rank numbering predates the shrink; it has served its
+    // purpose. evolve() re-seeds a fresh snapshot at the next interval, and
+    // a second death before then falls back to disk.
+    opts.buddy->invalidate();
+    return true;
 }
 
 std::array<Real, NCONS> CroccoAmr::conservedTotals() const {
@@ -638,7 +738,18 @@ void CroccoAmr::readCheckpoint(const std::string& dir, InitFunct ic,
     for (int lev = 0; lev <= finest; ++lev) {
         LevelIn& in = input[static_cast<std::size_t>(lev)];
         const BoxArray ba(std::move(in.boxes));
-        const DistributionMapping dm(std::move(in.owners), numRanks());
+        // Stored ownership can reference ranks the communicator no longer
+        // has (the checkpoint predates a rank death + shrink); rebuild the
+        // mapping from scratch over the survivors in that case. The data
+        // layout in the level file is box-ordered, not rank-ordered, so
+        // re-owning boxes does not disturb the payload decoding below.
+        const bool ownersFit = std::all_of(
+            in.owners.begin(), in.owners.end(),
+            [this](int o) { return o >= 0 && o < numRanks(); });
+        const DistributionMapping dm =
+            ownersFit ? DistributionMapping(std::move(in.owners), numRanks())
+                      : DistributionMapping(ba, numRanks(),
+                                            cfg_.amrInfo.strategy);
         setLevel(lev, ba, dm);
         setFinestLevel(lev);
         defineLevelData(lev, ba, dm);

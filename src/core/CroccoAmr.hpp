@@ -11,6 +11,7 @@
 #include "core/Weno.hpp"
 #include "mesh/CoordStore.hpp"
 #include "perf/TinyProfiler.hpp"
+#include "resilience/BuddyCheckpoint.hpp"
 #include "resilience/FaultInjector.hpp"
 #include "resilience/Health.hpp"
 #include "resilience/RestartManager.hpp"
@@ -78,6 +79,17 @@ public:
         bool overlap = false;
         /// Health-check + rollback/retry policy applied by step().
         resilience::GuardConfig guard;
+        /// Receive timeout in modeled seconds for the hardened exchange
+        /// (`comm.timeout`); 0 keeps the SimComm default. Also names the
+        /// wait a hung waitall reports.
+        double commTimeout = 0.0;
+        /// CRC-verify every ghost/ParallelCopy payload (`comm.verify`).
+        /// Off by default: the verified path records CRC-stamped messages,
+        /// so the seed's byte-identical log contract requires opt-in.
+        bool commVerify = false;
+        /// Retransmit budget per message before the exchange raises a
+        /// located error (`comm.max_retransmits`); 0 keeps the default.
+        int commMaxRetransmits = 0;
 
         static Config forVersion(CodeVersion v);
     };
@@ -89,6 +101,12 @@ public:
         resilience::RestartManager* restart = nullptr;
         int checkpointEvery = 0; ///< steps between checkpoints (0 = off)
         int maxRecoveries = 1;   ///< restore attempts before rethrowing
+        /// In-memory buddy checkpointing: snapshot every `buddyEvery` steps
+        /// into `buddy`; a rank death restores from it (communicator shrink
+        /// + box redistribution) without touching disk, falling back to
+        /// `restart` when the buddy copy is unavailable or also lost.
+        resilience::BuddyCheckpoint* buddy = nullptr;
+        int buddyEvery = 0; ///< steps between buddy snapshots (0 = off)
     };
 
     CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
@@ -120,6 +138,13 @@ public:
     int rollbackCount() const { return rollbackCount_; }
     /// Checkpoint-restore recoveries performed by evolve() overloads.
     int recoveryCount() const { return recoveryCount_; }
+    /// Rank-death recoveries performed by evolve() (subset of the above),
+    /// split by restore source.
+    int rankRecoveryCount() const {
+        return buddyRecoveryCount_ + diskRecoveryCount_;
+    }
+    int buddyRecoveryCount() const { return buddyRecoveryCount_; }
+    int diskRecoveryCount() const { return diskRecoveryCount_; }
 
     Real time() const { return time_; }
     int stepCount() const { return step_; }
@@ -199,6 +224,12 @@ private:
                               amr::MultiFab& dU);
     const amr::Interpolater& interpolater() const;
     Real computeDtAllLevels();
+    /// ULFM-style rank-death recovery: shrink the communicator, rebuild
+    /// every DistributionMapping without the dead rank, and restore the
+    /// hierarchy from the buddy snapshot. Returns false when no usable
+    /// buddy copy exists — the communicator is still shrunk, and the
+    /// caller must restore from disk instead.
+    bool recoverFromRankDeath(int deadRank, const EvolveOptions& opts);
 
     Config cfg_;
     std::shared_ptr<const mesh::Mapping> mapping_;
@@ -221,6 +252,8 @@ private:
     resilience::HealthReport lastHealth_;
     int rollbackCount_ = 0;
     int recoveryCount_ = 0;
+    int buddyRecoveryCount_ = 0;
+    int diskRecoveryCount_ = 0;
 };
 
 } // namespace crocco::core

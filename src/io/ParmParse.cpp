@@ -220,6 +220,15 @@ core::CroccoAmr::Config ParmParse::makeConfig(core::CroccoAmr::Config cfg) const
         throw std::runtime_error("resilience.max_retries: must be >= 0");
     if (cfg.guard.dtBackoff <= 0.0 || cfg.guard.dtBackoff >= 1.0)
         throw std::runtime_error("resilience.dt_backoff: must be in (0, 1)");
+
+    query("comm.timeout", cfg.commTimeout);
+    query("comm.verify", cfg.commVerify);
+    query("comm.max_retransmits", cfg.commMaxRetransmits);
+    if (cfg.commTimeout < 0.0)
+        throw std::runtime_error("comm.timeout: must be >= 0 (0 = default)");
+    if (cfg.commMaxRetransmits < 0)
+        throw std::runtime_error(
+            "comm.max_retransmits: must be >= 0 (0 = default)");
     return cfg;
 }
 

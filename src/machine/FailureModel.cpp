@@ -30,13 +30,43 @@ double FailureModel::dalyInterval(double delta, double mtbf) {
            delta;
 }
 
+double FailureModel::buddyCheckpointTime(std::int64_t bytes, int nodes) const {
+    assert(nodes >= 1);
+    // All partner pairs mirror concurrently, so only the per-node share
+    // crosses the wire; there is no shared-resource ceiling like the
+    // filesystem's aggregate bandwidth.
+    const double perNode = static_cast<double>(bytes) / static_cast<double>(nodes);
+    return perNode / interconnectBandwidth;
+}
+
+double FailureModel::diskRestoreTime(std::int64_t bytes, int nodes) const {
+    // Re-reading the dump hits the same filesystem limits as writing it.
+    return restartPenalty + checkpointWriteTime(bytes, nodes);
+}
+
+double FailureModel::buddyRestoreTime(std::int64_t bytes, int nodes) const {
+    assert(nodes >= 1);
+    // Only the dead rank's share moves: the partner streams it to the ranks
+    // adopting the orphaned boxes. Survivors keep their data in memory, so
+    // there is no relaunch and no filesystem traffic — just detection plus
+    // one node's worth of state over the interconnect.
+    const double perNode = static_cast<double>(bytes) / static_cast<double>(nodes);
+    return detectionLatency + perNode / interconnectBandwidth;
+}
+
 double FailureModel::wasteFraction(double delta, double mtbf) const {
+    return wasteFraction(delta, mtbf, restartPenalty);
+}
+
+double FailureModel::wasteFraction(double delta, double mtbf,
+                                   double restoreCost) const {
     const double tau = dalyInterval(delta, mtbf);
     const double cycle = tau + delta;
     // Checkpoint tax: delta out of every cycle. Failure tax: one failure
     // every mtbf seconds loses half a cycle of work on average plus the
-    // fixed restart penalty.
-    const double f = delta / cycle + (0.5 * cycle + restartPenalty) / mtbf;
+    // scheme's restore cost (relaunch + disk read, or detection + buddy
+    // redistribution).
+    const double f = delta / cycle + (0.5 * cycle + restoreCost) / mtbf;
     return std::clamp(f, 0.0, 0.99);
 }
 

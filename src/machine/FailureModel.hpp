@@ -22,6 +22,14 @@ struct FailureModel {
     /// Fixed cost of one failure beyond lost work: detect, requeue,
     /// relaunch, reload the checkpoint (seconds).
     double restartPenalty = 120.0;
+    /// Per-node interconnect injection bandwidth, B/s (Summit dual EDR:
+    /// ~23 GB/s usable) — the channel buddy mirroring and recovery
+    /// redistribution use instead of the filesystem.
+    double interconnectBandwidth = 23.0e9;
+    /// Time from a rank dying to its peers raising the failure at a
+    /// waitall and agreeing on the shrink (ULFM detection + consensus),
+    /// seconds. Calibrated against SimComm::setTimeout.
+    double detectionLatency = 5.0;
 
     /// System MTBF in seconds: node failures are independent, so the
     /// machine-level rate scales with node count.
@@ -36,10 +44,31 @@ struct FailureModel {
     /// starts, excluding the dump itself).
     static double dalyInterval(double delta, double mtbf);
 
+    /// Time to mirror one buddy checkpoint of `bytes` across `nodes` nodes:
+    /// every rank streams its share to its partner concurrently over the
+    /// interconnect, so the time scales with the per-node share — unlike
+    /// the disk dump, which the shared filesystem caps at scale.
+    double buddyCheckpointTime(std::int64_t bytes, int nodes) const;
+
+    /// Restore cost after one failure via disk: fixed restart penalty plus
+    /// re-reading the checkpoint through the filesystem.
+    double diskRestoreTime(std::int64_t bytes, int nodes) const;
+
+    /// Restore cost after one failure via the buddy copy: detection +
+    /// shrink consensus, then the dead rank's share streaming from its
+    /// partner to the adopting ranks over the interconnect. No job
+    /// relaunch, no filesystem.
+    double buddyRestoreTime(std::int64_t bytes, int nodes) const;
+
     /// Fraction of wall-clock time lost to resilience when checkpointing
     /// every dalyInterval: dump time, plus expected rework and restart
     /// cost per failure. First-order model, clamped to [0, 0.99].
     double wasteFraction(double delta, double mtbf) const;
+
+    /// Same model with an explicit per-failure restore cost — prices the
+    /// disk-vs-buddy recovery comparison (the two schemes differ in both
+    /// delta and the restore term).
+    double wasteFraction(double delta, double mtbf, double restoreCost) const;
 };
 
 } // namespace crocco::machine

@@ -325,6 +325,17 @@ RegionTimes ScalingSimulator::iterationTime(const ScalingCase& c) const {
         rt.regrid = tRegrid / params_.regridFreq;
     }
 
+    if (params_.modelCommFaults && params_.commFaultRate > 0.0) {
+        // Expected retransmit traffic of the verified exchange: a fraction
+        // commFaultRate of messages times out or fails its CRC and is
+        // re-sent after a NACK, so the wire carries the p2p volume again
+        // (plus the posting cost of the duplicate descriptors). First-order
+        // in the rate; the geometric tail of re-faulted retransmits is
+        // negligible at realistic rates.
+        rt.retransmit =
+            params_.commFaultRate * (rt.commWait() + rt.commPosted);
+    }
+
     if (params_.modelFailures) {
         // Charge the Daly checkpoint + expected-rework waste against each
         // iteration so that resilience / total() == overheadFraction.
@@ -349,6 +360,45 @@ ResilienceStats ScalingSimulator::resilienceStats(const ScalingCase& c) const {
     rs.overheadFraction = params_.failure.wasteFraction(rs.writeTime,
                                                         rs.systemMtbf);
     return rs;
+}
+
+RecoveryComparison ScalingSimulator::recoveryComparison(
+        const ScalingCase& c) const {
+    const FailureModel& fm = params_.failure;
+    RecoveryComparison rc;
+
+    // Disk scheme: exactly the existing economics (filesystem dump, job
+    // relaunch + checkpoint re-read on every failure).
+    rc.disk = resilienceStats(c);
+    rc.diskRestoreTime = fm.diskRestoreTime(rc.disk.checkpointBytes, c.nodes);
+
+    // Buddy scheme: same state volume, but the dump streams to the partner
+    // over the interconnect and a failure is repaired in memory — shrink,
+    // adopt the dead rank's boxes from the partner copy, keep running.
+    rc.buddy.checkpointBytes = rc.disk.checkpointBytes;
+    rc.buddy.systemMtbf = rc.disk.systemMtbf;
+    rc.buddy.writeTime = fm.buddyCheckpointTime(rc.buddy.checkpointBytes,
+                                                c.nodes);
+    rc.buddy.optimalInterval = FailureModel::dalyInterval(rc.buddy.writeTime,
+                                                          rc.buddy.systemMtbf);
+    rc.buddyRestoreTime = fm.buddyRestoreTime(rc.buddy.checkpointBytes,
+                                              c.nodes);
+    rc.buddy.overheadFraction = fm.wasteFraction(
+        rc.buddy.writeTime, rc.buddy.systemMtbf, rc.buddyRestoreTime);
+    rc.disk.overheadFraction = fm.wasteFraction(
+        rc.disk.writeTime, rc.disk.systemMtbf, rc.diskRestoreTime);
+
+    rc.detectionLatency = fm.detectionLatency;
+
+    // Retransmit surcharge of the verified exchange relative to the
+    // fault-free iteration, at this case's communication profile.
+    if (params_.modelCommFaults && params_.commFaultRate > 0.0) {
+        RegionTimes rt = iterationTime(c);
+        const double surcharge = rt.retransmit;
+        const double total = rt.totalSerial();
+        if (total > 0.0) rc.retransmitOverheadFraction = surcharge / total;
+    }
+    return rc;
 }
 
 } // namespace crocco::machine

@@ -52,6 +52,9 @@ struct RegionTimes {
     double resilience = 0;        ///< modeled checkpoint + rework overhead,
                                   ///< amortized per iteration (0 unless
                                   ///< Params::modelFailures)
+    double retransmit = 0;        ///< modeled CRC/NACK retransmit traffic on
+                                  ///< the verified exchange path (0 unless
+                                  ///< Params::modelCommFaults)
 
     /// Full WENO/viscous sweep (both passes).
     double advance() const { return advanceInterior + advanceHalo; }
@@ -68,7 +71,7 @@ struct RegionTimes {
     /// blocking exchange.
     double totalSerial() const {
         return commPosted + fillPatch() + advance() + update + computeDt +
-               averageDown + regrid + resilience;
+               averageDown + regrid + resilience + retransmit;
     }
     /// Iteration time with the overlapped schedule: the interior pass runs
     /// concurrently with the in-flight exchange, so only the slower of the
@@ -78,7 +81,7 @@ struct RegionTimes {
         const double overlapped =
             commWait() > advanceInterior ? commWait() : advanceInterior;
         return commPosted + overlapped + advanceHalo + interpCompute + update +
-               computeDt + averageDown + regrid + resilience;
+               computeDt + averageDown + regrid + resilience + retransmit;
     }
     /// Communication time the overlap actually hides, as a fraction of the
     /// communication the serial path waits on (1.0 == fully hidden).
@@ -97,6 +100,20 @@ struct ResilienceStats {
     double systemMtbf = 0;            ///< M at this node count, seconds
     double optimalInterval = 0;       ///< tau: Daly-optimal compute interval
     double overheadFraction = 0;      ///< wall-clock fraction lost
+};
+
+/// Disk-vs-buddy recovery economics of one scaling case: the same Daly
+/// machinery priced twice, once with filesystem checkpoints + job-relaunch
+/// restore and once with interconnect buddy mirroring + in-memory shrink
+/// recovery (what CroccoAmr::recoverFromRankDeath implements).
+struct RecoveryComparison {
+    ResilienceStats disk;    ///< filesystem dumps, relaunch + re-read restore
+    ResilienceStats buddy;   ///< partner mirroring, in-memory redistribution
+    double detectionLatency = 0;   ///< waitall timeout -> shrink consensus, s
+    double diskRestoreTime = 0;    ///< per-failure restore cost, disk path
+    double buddyRestoreTime = 0;   ///< per-failure restore cost, buddy path
+    double retransmitOverheadFraction = 0; ///< verified-exchange retransmit
+                                           ///< surcharge / iteration time
 };
 
 /// One point of the paper's scaling studies (Table I rows, Fig. 5 axes).
@@ -134,6 +151,13 @@ public:
         /// iterationTime when modelFailures is set.
         FailureModel failure;
         bool modelFailures = false;
+        /// Charge the verified-exchange retransmit surcharge against the
+        /// communication regions: each faulted message is re-sent after a
+        /// NACK, so expected comm time grows by ~commFaultRate.
+        bool modelCommFaults = false;
+        /// Per-message fault probability on the wire (drop + corrupt rates
+        /// of the injection campaign being modeled).
+        double commFaultRate = 0.0;
     };
 
     ScalingSimulator();
@@ -153,6 +177,11 @@ public:
     /// hierarchy's active points, write time from the filesystem model,
     /// MTBF from the node count, and the Daly-optimal interval + waste.
     ResilienceStats resilienceStats(const ScalingCase& c) const;
+
+    /// Price the same case under both recovery schemes (disk restart vs
+    /// in-memory buddy recovery) and report the per-failure restore costs
+    /// plus the retransmit overhead of the verified exchange path.
+    RecoveryComparison recoveryComparison(const ScalingCase& c) const;
 
     /// GPU memory demand per V100 for one case (bytes); compared against
     /// the 16 GB arena to reproduce the paper's problem-size ceiling.

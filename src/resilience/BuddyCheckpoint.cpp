@@ -1,0 +1,63 @@
+#include "resilience/BuddyCheckpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crocco::resilience {
+
+void BuddyCheckpoint::store(const std::vector<amr::MultiFab>& levels,
+                            int finestLevel, int step, double time,
+                            parallel::SimComm* comm) {
+    assert(finestLevel >= 0 &&
+           finestLevel < static_cast<int>(levels.size()));
+    levels_.clear();
+    levels_.reserve(static_cast<std::size_t>(finestLevel) + 1);
+    mirroredBytes_ = 0;
+    const int nranks = comm ? comm->size() : 1;
+    for (int lev = 0; lev <= finestLevel; ++lev) {
+        const amr::MultiFab& src = levels[static_cast<std::size_t>(lev)];
+        levels_.push_back(src); // deep copy (throws if an exchange is in flight)
+        if (!comm) continue;
+        // Each rank streams its valid cells to its partner; ghost layers
+        // are not mirrored (a restore refills them, like readCheckpoint).
+        for (int f = 0; f < src.numFabs(); ++f) {
+            const int owner = src.distributionMap()[f];
+            const int partner = partnerOf(owner, nranks);
+            if (partner == owner) continue;
+            const std::int64_t bytes =
+                src.validBox(f).numPts() * src.nComp() *
+                static_cast<std::int64_t>(sizeof(amr::Real));
+            comm->recordP2P(owner, partner, bytes, "BuddyCheckpoint");
+            mirroredBytes_ += bytes;
+        }
+    }
+    droppedReplicas_.clear();
+    step_ = step;
+    time_ = time;
+    finest_ = finestLevel;
+    nranks_ = nranks;
+    valid_ = true;
+}
+
+bool BuddyCheckpoint::canRecover(int deadRank) const {
+    if (!valid_) return false;
+    if (deadRank < 0 || deadRank >= nranks_) return false;
+    if (partnerOf(deadRank, nranks_) == deadRank) return false; // 1 rank: no buddy
+    return std::find(droppedReplicas_.begin(), droppedReplicas_.end(),
+                     deadRank) == droppedReplicas_.end();
+}
+
+void BuddyCheckpoint::invalidate() {
+    levels_.clear();
+    droppedReplicas_.clear();
+    mirroredBytes_ = 0;
+    finest_ = -1;
+    nranks_ = 0;
+    valid_ = false;
+}
+
+void BuddyCheckpoint::dropReplicaOf(int rank) {
+    droppedReplicas_.push_back(rank);
+}
+
+} // namespace crocco::resilience

@@ -195,6 +195,52 @@ TEST(CommCache, RegridInvalidatesReplacedLevelsPatterns) {
     EXPECT_EQ(CommCache::instance().size(), 1u);
 }
 
+TEST(CommCache, CommunicatorShrinkInvalidatesEveryCachedPattern) {
+    // Rank-death regression: a cached pattern's CopyDescriptors embed srcRank/
+    // dstRank in the pre-shrink numbering, so replaying one after the
+    // communicator shrank would log traffic for ranks that no longer exist.
+    CacheReset reset;
+    const Box domain(IntVect::zero(), IntVect(15));
+    const Geometry geom(domain, {0, 0, 0}, {1, 1, 1}, Periodicity::all());
+    BoxArray ba(tiledBoxes(domain, 4));
+    DistributionMapping dm(ba, 4);
+
+    parallel::SimComm comm(4);
+    MultiFab mf(ba, dm, 1, 1, &comm);
+    fillValid(mf);
+    mf.fillBoundary(geom);
+    auto& cache = CommCache::instance();
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.notedCommSize(), 4);
+
+    // The rank death + shrink path reports the new size; every pattern
+    // built under the old numbering must be dropped and counted.
+    comm.killRank(2);
+    comm.shrink();
+    cache.noteCommSize(comm.size());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().invalidations, 1);
+    EXPECT_EQ(cache.notedCommSize(), 3);
+
+    // Same size again: no churn.
+    cache.noteCommSize(comm.size());
+    EXPECT_EQ(cache.stats().invalidations, 1);
+
+    // The next exchange (post-shrink mapping) rebuilds cleanly and replays;
+    // the log is cleared so only post-shrink traffic is inspected.
+    comm.log().clear();
+    DistributionMapping dm3(ba, 3);
+    MultiFab mf3(ba, dm3, 1, 1, &comm);
+    fillValid(mf3);
+    mf3.fillBoundary(geom);
+    mf3.fillBoundary(geom);
+    EXPECT_GT(cache.stats().hits, 0);
+    for (const auto& m : comm.log().messages()) {
+        EXPECT_LT(m.src, 3);
+        EXPECT_LT(m.dst, 3);
+    }
+}
+
 TEST(CommCache, DerivedIdsAreDeterministicSoFillPatchScratchHits) {
     CacheReset reset;
     const Box domain(IntVect::zero(), IntVect(15));

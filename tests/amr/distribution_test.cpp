@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace crocco::amr {
 namespace {
 
@@ -89,6 +91,49 @@ TEST(DistributionMapping, Deterministic) {
     BoxArray ba(tiledBoxes(3, 8));
     DistributionMapping a(ba, 6), b(ba, 6);
     EXPECT_EQ(a, b);
+}
+
+TEST(DistributionMapping, ExcludeRankRenumbersSurvivorsAndAdoptsOrphans) {
+    // Rank-death rebuild: survivors keep their boxes under the dense
+    // post-shrink numbering; the dead rank's boxes go to the least-loaded
+    // survivors.
+    BoxArray ba(tiledBoxes(2, 8)); // 8 equal boxes
+    DistributionMapping dm(std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}, 4);
+    const DistributionMapping shrunk = dm.excludeRank(1, ba);
+    EXPECT_EQ(shrunk.numRanks(), 3);
+    EXPECT_EQ(shrunk.size(), ba.size());
+    for (int i = 0; i < shrunk.size(); ++i) {
+        EXPECT_GE(shrunk[i], 0);
+        EXPECT_LT(shrunk[i], 3);
+    }
+    // Survivors renumbered: old 0 -> 0, old 2 -> 1, old 3 -> 2.
+    EXPECT_EQ(shrunk[0], 0);
+    EXPECT_EQ(shrunk[2], 1);
+    EXPECT_EQ(shrunk[3], 2);
+    EXPECT_EQ(shrunk[4], 0);
+    // Equal boxes stay balanced: the two orphans land on different ranks,
+    // so no rank holds more than 3 of the 8 boxes.
+    const auto pts = shrunk.pointsPerRank(ba);
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_GT(pts[r], 0);
+        EXPECT_LE(pts[r], 3 * 8 * 8 * 8);
+    }
+    EXPECT_EQ(pts[0] + pts[1] + pts[2], ba.numPts());
+}
+
+TEST(DistributionMapping, ExcludeRankValidatesItsArguments) {
+    BoxArray ba(tiledBoxes(2, 8));
+    DistributionMapping dm(ba, 4);
+    EXPECT_THROW(dm.excludeRank(-1, ba), std::invalid_argument);
+    EXPECT_THROW(dm.excludeRank(4, ba), std::invalid_argument);
+    DistributionMapping solo(ba, 1);
+    EXPECT_THROW(solo.excludeRank(0, ba), std::logic_error);
+}
+
+TEST(DistributionMapping, ExcludeRankOrphanPlacementIsDeterministic) {
+    BoxArray ba(tiledBoxes(3, 8));
+    DistributionMapping dm(ba, 5);
+    EXPECT_EQ(dm.excludeRank(2, ba), dm.excludeRank(2, ba));
 }
 
 } // namespace

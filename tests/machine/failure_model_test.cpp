@@ -102,6 +102,85 @@ TEST(ScalingSimulator, IterationTimeChargesResilienceOnlyWhenEnabled) {
                 1e-12 * base.totalSerial());
 }
 
+TEST(FailureModel, BuddyTimesScaleWithTheInterconnectNotTheFilesystem) {
+    FailureModel fm;
+    const std::int64_t bytes = 1'000'000'000'000; // 1 TB of state
+    // Buddy mirroring is per-node concurrent: doubling nodes halves the
+    // time at every scale — there is no aggregate ceiling to hit.
+    EXPECT_NEAR(fm.buddyCheckpointTime(bytes, 2048) /
+                    fm.buddyCheckpointTime(bytes, 4096),
+                2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(fm.buddyCheckpointTime(bytes, 64),
+                     (static_cast<double>(bytes) / 64) / fm.interconnectBandwidth);
+    // Restore: disk pays the relaunch penalty + a filesystem read; buddy
+    // pays detection + one node's share over the interconnect.
+    EXPECT_DOUBLE_EQ(fm.diskRestoreTime(bytes, 4096),
+                     fm.restartPenalty +
+                         fm.checkpointWriteTime(bytes, 4096));
+    EXPECT_DOUBLE_EQ(fm.buddyRestoreTime(bytes, 4096),
+                     fm.detectionLatency +
+                         (static_cast<double>(bytes) / 4096) /
+                             fm.interconnectBandwidth);
+    EXPECT_LT(fm.buddyRestoreTime(bytes, 4096), fm.diskRestoreTime(bytes, 4096));
+    // The 2-arg waste fraction is the 3-arg one priced at the disk restart
+    // penalty.
+    EXPECT_DOUBLE_EQ(fm.wasteFraction(30.0, 1e5),
+                     fm.wasteFraction(30.0, 1e5, fm.restartPenalty));
+    // A cheaper restore means less waste, all else equal.
+    EXPECT_LT(fm.wasteFraction(30.0, 1e5, 10.0),
+              fm.wasteFraction(30.0, 1e5, 500.0));
+}
+
+TEST(ScalingSimulator, BuddyRecoveryBeatsDiskAtScale) {
+    // The acceptance gate of the recovery-sweep: at the paper's largest
+    // configuration (4096 nodes, weak scaling) in-memory buddy recovery
+    // must waste a smaller wall-clock fraction than disk restart.
+    ScalingSimulator sim;
+    double prevGap = 0.0;
+    for (int nodes : {64, 1024, 4096}) {
+        ScalingCase c;
+        c.version = core::CodeVersion::V20;
+        c.nodes = nodes;
+        c.equivalentPoints = static_cast<std::int64_t>(nodes) * 40'000'000;
+        const RecoveryComparison rc = sim.recoveryComparison(c);
+        EXPECT_EQ(rc.disk.checkpointBytes, rc.buddy.checkpointBytes);
+        EXPECT_DOUBLE_EQ(rc.disk.systemMtbf, rc.buddy.systemMtbf);
+        EXPECT_GT(rc.buddy.overheadFraction, 0.0);
+        EXPECT_LT(rc.buddy.overheadFraction, rc.disk.overheadFraction)
+            << nodes << " nodes";
+        EXPECT_LT(rc.buddyRestoreTime, rc.diskRestoreTime) << nodes << " nodes";
+        // The buddy advantage widens as the filesystem ceiling bites.
+        const double gap = rc.disk.overheadFraction - rc.buddy.overheadFraction;
+        EXPECT_GT(gap, prevGap) << nodes << " nodes";
+        prevGap = gap;
+    }
+}
+
+TEST(ScalingSimulator, CommFaultRateChargesRetransmitSurcharge) {
+    ScalingCase c;
+    c.version = core::CodeVersion::V20;
+    c.nodes = 256;
+    c.equivalentPoints = 500'000'000;
+
+    ScalingSimulator off;
+    const RegionTimes base = off.iterationTime(c);
+    EXPECT_EQ(base.retransmit, 0.0);
+    EXPECT_DOUBLE_EQ(off.recoveryComparison(c).retransmitOverheadFraction, 0.0);
+
+    ScalingSimulator::Params p;
+    p.modelCommFaults = true;
+    p.commFaultRate = 0.01;
+    ScalingSimulator on(p);
+    const RegionTimes rt = on.iterationTime(c);
+    // 1% of messages re-sent: the comm regions (wait + posting) pay 1%.
+    EXPECT_NEAR(rt.retransmit, 0.01 * (rt.commWait() + rt.commPosted), 1e-15);
+    EXPECT_NEAR(rt.totalSerial() - rt.retransmit, base.totalSerial(),
+                1e-12 * base.totalSerial());
+    const RecoveryComparison rc = on.recoveryComparison(c);
+    EXPECT_GT(rc.retransmitOverheadFraction, 0.0);
+    EXPECT_LT(rc.retransmitOverheadFraction, 0.011); // bounded by the rate
+}
+
 TEST(ScalingSimulator, ResilienceOverheadGrowsWithNodeCount) {
     ScalingSimulator::Params p;
     p.modelFailures = true;

@@ -18,9 +18,15 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci -j "$JOBS" >/dev/null
 (cd build-ci && ctest --output-on-failure)
 
-echo "== perf benches (BENCH_PR2 + BENCH_PR4) =="
+echo "== fault-injection soak (ctest -L resilience) =="
+# The seeded comm-fault campaign: every fault kind injected and recovered,
+# plus the mid-run rank-death soak with regrids (comm_recovery_test).
+(cd build-ci && ctest -L resilience --output-on-failure)
+
+echo "== perf benches (BENCH_PR2 + BENCH_PR4 + BENCH_PR6) =="
 bench/run_bench.sh build-ci BENCH_PR2.json
 bench/run_bench_pr4.sh build-ci BENCH_PR4.json
+bench/run_bench_pr6.sh build-ci BENCH_PR6.json
 
 echo "== CroccoCheck (Release + CROCCO_CHECK) =="
 cmake -B build-ci-check -S . -DCMAKE_BUILD_TYPE=Release -DCROCCO_CHECK=ON \

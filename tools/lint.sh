@@ -21,6 +21,12 @@
 #       End never runs leaves the exchange permanently in flight; the next
 #       Begin aborts at runtime, but the lint catches the mismatch at review
 #       time.
+#   R6  No raw isend/irecv outside SimComm itself and MultiFab's async
+#       exchange. Raw posts bypass the hardened-exchange policy (CRC stamp,
+#       receive timeout, bounded retransmit, NACK-on-corruption), so a fault
+#       injected on such a message would be silent. New p2p traffic must go
+#       through MultiFab or SimComm::sendVerified, or extend the allowlist
+#       after wiring the same verification in.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -80,6 +86,15 @@ $f: $nb $begin vs $ne $end"
 done
 r5=$(echo "$r5" | sed '/^$/d')
 report "R5 (async exchange Begin without matching End)" "$r5"
+
+# R6: raw nonblocking posts outside the hardened-exchange implementation.
+# Allowlist is file-granular: SimComm owns the API, MultiFab's async
+# exchange is the one reviewed caller (it stamps CRCs and verifies at End).
+R6_ALLOW='^src/(parallel/SimComm\.(cpp|hpp)|amr/MultiFab\.cpp):'
+r6=$(grep -rnE '\b(isend|irecv)\s*\(' src/ --include='*.cpp' --include='*.hpp' \
+     | grep -Ev "$R6_ALLOW" \
+     | grep -v '^[^:]*:[0-9]*: *//' || true)
+report "R6 (raw isend/irecv outside the verified exchange)" "$r6"
 
 # clang-tidy (optional): uses .clang-tidy at the repo root. Needs a compile
 # database; generate one on demand in build-tidy/ if a compiler is around.
