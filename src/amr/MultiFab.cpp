@@ -160,11 +160,17 @@ void MultiFab::invalidateGhosts() {
 }
 
 void MultiFab::setVal(Real v) {
-    gpu::ParallelForIndex(numFabs(), [&](int i) { fabs_[i].setVal(v); });
+    // Each fab's sweep models one device kernel launch (FArrayBox loops do
+    // not route through gpu::ParallelFor, so they are counted here).
+    gpu::ParallelForIndex(numFabs(), [&](int i) {
+        gpu::LaunchStats::add();
+        fabs_[i].setVal(v);
+    });
 }
 
 void MultiFab::setVal(Real v, int comp, int ncomp) {
     gpu::ParallelForIndex(numFabs(), [&](int i) {
+        gpu::LaunchStats::add();
         fabs_[i].setVal(v, fabs_[i].box(), comp, ncomp);
     });
 }
@@ -489,6 +495,7 @@ void MultiFab::mult(Real a, int comp, int numComp, int ngrow) {
     assert(comp + numComp <= ncomp_);
     assert(ngrow >= 0 && ngrow <= ngrow_);
     gpu::ParallelForIndex(numFabs(), [&](int i) {
+        gpu::LaunchStats::add();
         auto arr = fabs_[i].array();
         for (int n = comp; n < comp + numComp; ++n)
             forEachCell(ba_[i].grow(ngrow), [&](int ii, int j, int k) {
@@ -511,6 +518,7 @@ void MultiFab::saxpy(MultiFab& dst, Real a, const MultiFab& src, int srcComp,
                      int destComp, int numComp) {
     assert(dst.boxArray() == src.boxArray());
     gpu::ParallelForIndex(dst.numFabs(), [&](int i) {
+        gpu::LaunchStats::add();
         dst.fabs_[i].saxpy(a, src.fab(i), dst.ba_[i], srcComp, destComp, numComp);
     });
 }

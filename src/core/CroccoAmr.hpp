@@ -77,6 +77,15 @@ public:
         /// receives the same per-cell update sequence with the same
         /// operands); default off so existing decks are unchanged.
         bool overlap = false;
+        /// Fused RHS pipeline (`core.fused`): decode primitives/metrics
+        /// once per stage into a shared cache, collapse each WENO sweep's
+        /// flux+divergence into one pencil pass (no face-flux fab), fuse
+        /// the RK3 mult+saxpy+saxpy triple into one kernel, and batch the
+        /// per-fab sub-kernels of each phase into a single counted launch.
+        /// Bitwise-identical to the unfused path (pinned by
+        /// tests/core/fused_rhs_test); default off so existing decks are
+        /// unchanged. Composes with `core.overlap`.
+        bool fused = false;
         /// Health-check + rollback/retry policy applied by step().
         resilience::GuardConfig guard;
         /// Receive timeout in modeled seconds for the hardened exchange
@@ -205,6 +214,12 @@ private:
                          const amr::DistributionMapping& dm);
     void rk3Advance();
     void computeRhs(int lev, const amr::MultiFab& Sborder, amr::MultiFab& dU);
+    /// Fused-pipeline RHS (Config::fused): per-stage primitive cache, two-
+    /// kernel WENO sweeps with the dir-0 sweep absorbing dU's zero-fill,
+    /// two-kernel viscous pass, all batched per phase. Bitwise-identical
+    /// accumulation into dU.
+    void computeRhsFused(int lev, const amr::MultiFab& Sborder,
+                         amr::MultiFab& dU);
     /// Split FillPatch used by the overlapped advance (Config::overlap):
     /// Begin posts the same-level ghost exchange without draining it, End
     /// drains it and finishes the fill (coarse interp + BCs for lev > 0).

@@ -1,0 +1,24 @@
+#include "core/FusedRhs.hpp"
+
+#include "gpu/Gpu.hpp"
+#include "mesh/GridMetrics.hpp"
+
+namespace crocco::core::fused {
+
+void computePrimCache(const Array4<const Real>& S,
+                      const Array4<const Real>& metrics, const Box& box,
+                      const Array4<Real>& cache, const GasModel& gas) {
+    gpu::ParallelFor(box, [&](int i, int j, int k) {
+        const Prim q = toPrim(S, i, j, k, gas);
+        cache(i, j, k, QC_RHO) = q.rho;
+        cache(i, j, k, QC_U) = q.u;
+        cache(i, j, k, QC_V) = q.v;
+        cache(i, j, k, QC_W) = q.w;
+        cache(i, j, k, QC_P) = q.p;
+        cache(i, j, k, QC_A) = q.a;
+        cache(i, j, k, QC_T) = gas.temperature(q.rho, q.p);
+        cache(i, j, k, QC_J) = mesh::jacobian(metrics, i, j, k);
+    });
+}
+
+} // namespace crocco::core::fused

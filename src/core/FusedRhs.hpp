@@ -1,0 +1,40 @@
+#pragma once
+
+#include "amr/Box.hpp"
+#include "core/State.hpp"
+
+namespace crocco::core::fused {
+
+using amr::Array4;
+using amr::Box;
+using amr::Real;
+
+/// Component layout of the shared primitive/metric cache of the fused RHS
+/// pipeline (`core.fused`): one per-stage decode kernel stores toPrim's
+/// outputs, the temperature, and the Jacobian determinant once per cell;
+/// all three WENO sweeps and the viscous operator then consume the cache
+/// instead of re-deriving pressure/sound-speed/EOS state and the 3x3
+/// determinant per sweep (3-4x redundant work in the unfused path).
+///
+/// Bitwise contract: every cached value is produced by exactly the
+/// expression the unfused kernels evaluate inline (toPrim, GasModel::
+/// temperature, mesh::jacobian), so consumers that substitute a cache read
+/// for the inline computation see bit-identical operands.
+inline constexpr int QC_RHO = 0;
+inline constexpr int QC_U = 1;
+inline constexpr int QC_V = 2;
+inline constexpr int QC_W = 3;
+inline constexpr int QC_P = 4;
+inline constexpr int QC_A = 5;
+inline constexpr int QC_T = 6; ///< gas.temperature(rho, p) (viscous path)
+inline constexpr int QC_J = 7; ///< mesh::jacobian determinant
+inline constexpr int NCACHE = 8;
+
+/// Fill `cache` (NCACHE components) over `box` from the conserved state and
+/// metrics. One gpu::ParallelFor kernel; `box` must lie inside both fabs
+/// (the caller sizes it to the RHS stencil width, <= NGHOST).
+void computePrimCache(const Array4<const Real>& S,
+                      const Array4<const Real>& metrics, const Box& box,
+                      const Array4<Real>& cache, const GasModel& gas);
+
+} // namespace crocco::core::fused

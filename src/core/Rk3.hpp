@@ -4,6 +4,10 @@
 
 #include <array>
 
+namespace crocco::amr {
+class MultiFab;
+}
+
 namespace crocco::core {
 
 /// Williamson's 3rd-order low-storage (2N) Runge-Kutta scheme [Williamson
@@ -20,5 +24,22 @@ struct Rk3 {
     static constexpr std::array<amr::Real, 3> A{0.0, -5.0 / 9.0, -153.0 / 128.0};
     static constexpr std::array<amr::Real, 3> B{1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0};
 };
+
+/// One RK3 stage update over the valid region of the level:
+///
+///   G <- A * G + dt * dU;  U <- U + B * G
+///
+/// This is the single sanctioned home of the stage-update triple (lint rule
+/// R7 forbids open-coded mult+saxpy+saxpy RK3 sequences elsewhere).
+///
+/// `fusedKernel == false` runs the seed's exact MultiFab::mult + 2x saxpy
+/// sequence — three full-fab sweeps, three launches per fab.
+/// `fusedKernel == true` (`core.fused`) runs one batched fused kernel that
+/// performs the same per-cell operations in the same per-cell order
+/// (gv = A*g; gv += dt*du; g = gv; u += B*gv), so the result is bitwise
+/// identical while touching G and U once each.
+void rk3StageUpdate(amr::MultiFab& G, amr::MultiFab& U,
+                    const amr::MultiFab& dU, amr::Real A, amr::Real B,
+                    amr::Real dt, bool fusedKernel);
 
 } // namespace crocco::core

@@ -132,4 +132,89 @@ void viscousFlux(const Array4<const Real>& S, const Array4<const Real>& metrics,
     });
 }
 
+void viscousFluxFused(const Array4<const Real>& cache,
+                      const Array4<const Real>& metrics, const Box& validBox,
+                      const Array4<Real>& dU, const std::array<Real, 3>& dxi,
+                      const GasModel& gas, const SgsModel& sgs) {
+    assert(gas.viscous() || sgs.active());
+
+    // Map the unfused scratch's component order (QU,QV,QW,QT,QRHO) onto the
+    // shared-cache layout so the gradient loop runs in the identical order
+    // over identical (bit-equal) operands.
+    constexpr int cacheComp[NPRIM] = {fused::QC_U, fused::QC_V, fused::QC_W,
+                                      fused::QC_T, fused::QC_RHO};
+
+    // Kernel 1 (unfused kernel 2): theta from cached primitives.
+    const Box fluxBox = validBox.grow(2);
+    FArrayBox thetaFab(fluxBox, 12);
+    auto th = thetaFab.array();
+    gpu::ParallelFor(fluxBox, [&](int i, int j, int k) {
+        Real gxi[NPRIM][3];
+        for (int m = 0; m < NPRIM; ++m)
+            for (int d = 0; d < 3; ++d)
+                gxi[m][d] = d1(cache, i, j, k, cacheComp[m], d,
+                               1.0 / dxi[static_cast<std::size_t>(d)]);
+        Real M[3][3];
+        for (int d = 0; d < 3; ++d)
+            for (int m = 0; m < 3; ++m) M[d][m] = metrics(i, j, k, metric1(d, m));
+        Real gu[3][3], gT[3];
+        for (int m = 0; m < 3; ++m) {
+            for (int vc = 0; vc < 3; ++vc) {
+                gu[vc][m] = 0.0;
+                for (int d = 0; d < 3; ++d) gu[vc][m] += M[d][m] * gxi[vc][d];
+            }
+            gT[m] = 0.0;
+            for (int d = 0; d < 3; ++d) gT[m] += M[d][m] * gxi[QT][d];
+        }
+        Real gradU[3][3];
+        for (int a = 0; a < 3; ++a)
+            for (int b = 0; b < 3; ++b) gradU[a][b] = gu[a][b];
+        const Real Jloc = cache(i, j, k, fused::QC_J);
+        const Real delta =
+            SgsModel::filterWidth(Jloc * dxi[0] * dxi[1] * dxi[2]);
+        const Real muT =
+            sgs.eddyViscosity(gradU, cache(i, j, k, fused::QC_RHO), delta);
+        const Real mu = gas.viscosity(cache(i, j, k, fused::QC_T)) + muT;
+        const Real lambda = gas.conductivity(cache(i, j, k, fused::QC_T)) +
+                            muT * gas.cp() / sgs.prandtlT;
+        const Real divu = gu[0][0] + gu[1][1] + gu[2][2];
+        Real tau[3][3];
+        for (int a = 0; a < 3; ++a)
+            for (int b = 0; b < 3; ++b)
+                tau[a][b] = mu * (gu[a][b] + gu[b][a] -
+                                  (a == b ? (2.0 / 3.0) * divu : 0.0));
+        const Real u[3] = {cache(i, j, k, fused::QC_U),
+                           cache(i, j, k, fused::QC_V),
+                           cache(i, j, k, fused::QC_W)};
+        const Real J = Jloc;
+        for (int d = 0; d < 3; ++d) {
+            for (int a = 0; a < 3; ++a) {
+                Real s = 0.0;
+                for (int b = 0; b < 3; ++b) s += M[d][b] * tau[a][b];
+                th(i, j, k, thetaComp(d, a)) = J * s;
+            }
+            Real se = 0.0;
+            for (int b = 0; b < 3; ++b) {
+                Real work = lambda * gT[b];
+                for (int a = 0; a < 3; ++a) work += u[a] * tau[a][b];
+                se += M[d][b] * work;
+            }
+            th(i, j, k, thetaComp(d, 3)) = J * se;
+        }
+    });
+
+    // Kernel 2 (unfused kernel 3): divergence, Jacobian from the cache.
+    auto thc = thetaFab.const_array();
+    gpu::ParallelFor(validBox, [&](int i, int j, int k) {
+        const Real Jinv = 1.0 / cache(i, j, k, fused::QC_J);
+        for (int d = 0; d < 3; ++d) {
+            const Real invdx = 1.0 / dxi[static_cast<std::size_t>(d)];
+            dU(i, j, k, UMX) += Jinv * d1(thc, i, j, k, thetaComp(d, 0), d, invdx);
+            dU(i, j, k, UMY) += Jinv * d1(thc, i, j, k, thetaComp(d, 1), d, invdx);
+            dU(i, j, k, UMZ) += Jinv * d1(thc, i, j, k, thetaComp(d, 2), d, invdx);
+            dU(i, j, k, UEDEN) += Jinv * d1(thc, i, j, k, thetaComp(d, 3), d, invdx);
+        }
+    });
+}
+
 } // namespace crocco::core

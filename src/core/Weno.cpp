@@ -231,17 +231,23 @@ void wenoFluxFortranStyle(int dir, const Array4<const Real>& S,
                           const Array4<const Real>& metrics, const Box& validBox,
                           const Array4<Real>& dU, Real dxi, const GasModel& gas,
                           WenoScheme scheme, Reconstruction recon) {
-    const IntVect e = IntVect::basis(dir);
     const int lo = validBox.smallEnd(dir), hi = validBox.bigEnd(dir);
     const int nline = hi - lo + 1;
 
     // 1-D line scratch reused across every pencil — the original Fortran
     // structure that is fast on CPU but racy if naively parallelized over
     // all three dimensions (which is exactly why the GPU port moved to the
-    // staged 3-D-scratch form above).
-    std::vector<CellFlux> line(static_cast<std::size_t>(nline) + 6);
-    std::vector<Real> cons(static_cast<std::size_t>(nline + 6) * NCONS);
-    std::vector<Real> flux(static_cast<std::size_t>(nline + 1) * NCONS);
+    // staged 3-D-scratch form above). The buffers are thread_local so the
+    // allocation happens once per worker thread, not once per fab per
+    // direction per stage (each worker owns its scratch, so the fab-level
+    // pool parallelism stays race-free); every element is written before it
+    // is read in each pencil, so reuse across calls is safe.
+    thread_local std::vector<CellFlux> line;
+    thread_local std::vector<Real> cons;
+    thread_local std::vector<Real> flux;
+    line.resize(static_cast<std::size_t>(nline) + 6);
+    cons.resize(static_cast<std::size_t>(nline + 6) * NCONS);
+    flux.resize(static_cast<std::size_t>(nline + 1) * NCONS);
     CellFlux* __restrict__ lf = line.data();
     Real* __restrict__ lc = cons.data();
     Real* __restrict__ fl = flux.data();
@@ -260,12 +266,12 @@ void wenoFluxFortranStyle(int dir, const Array4<const Real>& S,
                     lc[l * NCONS + m] = S(p[0], p[1], p[2], m);
             }
             // Interface fluxes along the pencil (interface f at line index
-            // f corresponds to cell interface lo-1+f+1/2).
+            // f corresponds to cell interface lo-1+f+1/2). The conserved
+            // window is a view into the contiguous line buffer — row l of
+            // the window is lc[(f+l)*NCONS ..], so no per-face copy.
             for (int f = 0; f <= nline; ++f) {
-                Real consWin[6][NCONS];
-                for (int l = 0; l < 6; ++l)
-                    for (int m = 0; m < NCONS; ++m)
-                        consWin[l][m] = lc[(f + l) * NCONS + m];
+                const auto* consWin =
+                    reinterpret_cast<const Real(*)[NCONS]>(&lc[f * NCONS]);
                 interfaceFlux(&lf[f], consWin, scheme, recon, gas, &fl[f * NCONS]);
             }
             // Difference into dU.
@@ -281,10 +287,114 @@ void wenoFluxFortranStyle(int dir, const Array4<const Real>& S,
             }
         }
     }
-    (void)e;
+}
+
+/// Stage A of the fused sweep: the cellFlux payload rebuilt from the shared
+/// primitive/metric cache. The metric row products, uhat, the flux vector
+/// and the spectral radius are the exact expressions of cellFlux() with the
+/// toPrim/jacobian results substituted by their cached (bit-identical)
+/// values — only the redundant EOS decode and 3x3 determinant disappear.
+inline CellFlux cellFluxCached(const Array4<const Real>& S,
+                               const Array4<const Real>& cache,
+                               const Array4<const Real>& metrics, int i, int j,
+                               int k, int dir) {
+    const Real rho = cache(i, j, k, fused::QC_RHO);
+    const Real u = cache(i, j, k, fused::QC_U);
+    const Real v = cache(i, j, k, fused::QC_V);
+    const Real w = cache(i, j, k, fused::QC_W);
+    const Real p = cache(i, j, k, fused::QC_P);
+    const Real a = cache(i, j, k, fused::QC_A);
+    const Real J = cache(i, j, k, fused::QC_J);
+    const Real jm0 = J * metrics(i, j, k, metric1(dir, 0));
+    const Real jm1 = J * metrics(i, j, k, metric1(dir, 1));
+    const Real jm2 = J * metrics(i, j, k, metric1(dir, 2));
+    const Real uhat = jm0 * u + jm1 * v + jm2 * w;
+    CellFlux c;
+    c.fhat[URHO] = rho * uhat;
+    c.fhat[UMX] = rho * u * uhat + jm0 * p;
+    c.fhat[UMY] = rho * v * uhat + jm1 * p;
+    c.fhat[UMZ] = rho * w * uhat + jm2 * p;
+    c.fhat[UEDEN] = (S(i, j, k, UEDEN) + p) * uhat;
+    c.s = std::abs(uhat) + a * std::sqrt(jm0 * jm0 + jm1 * jm1 + jm2 * jm2);
+    c.jm[0] = jm0;
+    c.jm[1] = jm1;
+    c.jm[2] = jm2;
+    return c;
 }
 
 } // namespace
+
+void wenoFluxFused(int dir, const Array4<const Real>& S,
+                   const Array4<const Real>& cache,
+                   const Array4<const Real>& metrics, const Box& validBox,
+                   const Array4<Real>& dU, Real dxi, const GasModel& gas,
+                   WenoScheme scheme, Reconstruction recon, bool firstTerm) {
+    assert(dir >= 0 && dir < 3);
+
+    // Kernel 1 (stage A): cached contravariant flux + spectral radius into
+    // pooled scratch, exactly the portable kernel 1 minus the EOS/Jacobian
+    // re-derivation.
+    const Box cellBox = validBox.grow(dir, 3);
+    auto scratchLease = gpu::ScratchPool::instance().acquire(cellBox, kCellFluxComps);
+    auto sc = scratchLease.fab().array();
+    gpu::ParallelFor(cellBox, [&](int i, int j, int k) {
+        const CellFlux c = cellFluxCached(S, cache, metrics, i, j, k, dir);
+        for (int m = 0; m < NCONS; ++m) sc(i, j, k, m) = c.fhat[m];
+        sc(i, j, k, NCONS) = c.s;
+        for (int d = 0; d < 3; ++d) sc(i, j, k, NCONS + 1 + d) = c.jm[d];
+    });
+
+    // Kernel 2 (fused stages B+C): one task per pencil along `dir`. Each
+    // pencil computes its faces in order, carries the previous face's flux
+    // in registers, and writes the divergence straight into dU — no
+    // face-flux fab, one interfaceFlux evaluation per face. Pencils own
+    // disjoint dU cells, so the pass is race-free and deterministic for
+    // every thread count.
+    const int lo = validBox.smallEnd(dir), hi = validBox.bigEnd(dir);
+    amr::IntVect planeHi = validBox.bigEnd();
+    planeHi[dir] = validBox.smallEnd(dir);
+    const Box plane(validBox.smallEnd(), planeHi);
+    auto scc = scratchLease.fab().const_array();
+    gpu::ParallelFor(plane, [&](int i0, int j0, int k0) {
+        IntVect p{i0, j0, k0};
+        CellFlux cells[6];
+        Real cons[6][NCONS];
+        Real fprev[NCONS], fcur[NCONS];
+        // Gather the 6-cell window of the face stored at cell index `fc`
+        // (interface fc+1/2) — identical to the portable kernel 2 gather.
+        const auto gather = [&](int fc) {
+            IntVect q = p;
+            for (int l = 0; l < 6; ++l) {
+                q[dir] = fc + (l - 2);
+                for (int m = 0; m < NCONS; ++m) {
+                    cells[l].fhat[m] = scc(q[0], q[1], q[2], m);
+                    cons[l][m] = S(q[0], q[1], q[2], m);
+                }
+                cells[l].s = scc(q[0], q[1], q[2], NCONS);
+                for (int d = 0; d < 3; ++d)
+                    cells[l].jm[d] = scc(q[0], q[1], q[2], NCONS + 1 + d);
+            }
+        };
+        gather(lo - 1);
+        interfaceFlux(cells, cons, scheme, recon, gas, fprev);
+        for (int c0 = lo; c0 <= hi; ++c0) {
+            gather(c0);
+            interfaceFlux(cells, cons, scheme, recon, gas, fcur);
+            p[dir] = c0;
+            const Real scale =
+                1.0 / (dxi * cache(p[0], p[1], p[2], fused::QC_J));
+            for (int m = 0; m < NCONS; ++m) {
+                // `0.0 - x` is bitwise the unfused path's `0 -= x` after
+                // dU.setVal(0); the compound form matches its `dU -= x`.
+                if (firstTerm)
+                    dU(p[0], p[1], p[2], m) = 0.0 - scale * (fcur[m] - fprev[m]);
+                else
+                    dU(p[0], p[1], p[2], m) -= scale * (fcur[m] - fprev[m]);
+            }
+            for (int m = 0; m < NCONS; ++m) fprev[m] = fcur[m];
+        }
+    });
+}
 
 void wenoFlux(int dir, const Array4<const Real>& S,
               const Array4<const Real>& metrics, const Box& validBox,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "amr/Box.hpp"
+#include "gpu/LaunchStats.hpp"
 #include "gpu/ThreadPool.hpp"
 
 #include <cstdint>
@@ -56,6 +57,7 @@ inline int numKSlabs(const Box& box) { return box.length(2); }
 template <typename F>
 inline void ParallelFor(const Box& box, F&& f) {
     if (!box.ok()) return;
+    LaunchStats::add();
     ThreadPool& pool = ThreadPool::instance();
     if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
         amr::forEachCell(box, f);
@@ -69,6 +71,7 @@ inline void ParallelFor(const Box& box, F&& f) {
 template <typename F>
 inline void ParallelFor(const Box& box, int ncomp, F&& f) {
     if (!box.ok()) return;
+    LaunchStats::add();
     ThreadPool& pool = ThreadPool::instance();
     if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
         for (int n = 0; n < ncomp; ++n)
@@ -91,6 +94,24 @@ inline void ParallelForIndex(int n, F&& f) {
     ThreadPool::instance().run(n, f);
 }
 
+/// Batched fab-level launch: the per-fab sub-kernels of one pipeline phase
+/// are aggregated into `kernelsPerTask` device launches with per-fab work
+/// descriptors (the fused RHS pipeline's launch amortization — AMReX's
+/// fused launches / Parthenon's hierarchical par_for). The phase charges
+/// `kernelsPerTask` launches once, flat in the fab count; the gpu::
+/// ParallelFor calls made inside f run under a BatchedPhaseScope and are
+/// not counted again. Execution semantics are identical to
+/// ParallelForIndex (same pool, same deterministic stripe schedule).
+template <typename F>
+inline void BatchedParallelForIndex(int n, int kernelsPerTask, F&& f) {
+    if (n <= 0) return;
+    LaunchStats::addBatched(static_cast<std::uint64_t>(kernelsPerTask));
+    ThreadPool::instance().run(n, [&](int t) {
+        BatchedPhaseScope batch;
+        f(t);
+    });
+}
+
 /// Whole-box launch: the functor receives the box and iterates itself
 /// (mirrors amrex::launch, used for kernels with interior loop carried
 /// dependencies that must not be auto-parallelized per cell).
@@ -107,6 +128,7 @@ template <typename F>
 inline double ReduceMin(const Box& box, F&& f) {
     double m = std::numeric_limits<double>::infinity();
     if (!box.ok()) return m;
+    LaunchStats::add();
     ThreadPool& pool = ThreadPool::instance();
     if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
         amr::forEachCell(box, [&](int i, int j, int k) {
@@ -134,6 +156,7 @@ template <typename F>
 inline double ReduceMax(const Box& box, F&& f) {
     double m = -std::numeric_limits<double>::infinity();
     if (!box.ok()) return m;
+    LaunchStats::add();
     ThreadPool& pool = ThreadPool::instance();
     if (pool.numThreads() == 1 || ThreadPool::inParallelRegion()) {
         amr::forEachCell(box, [&](int i, int j, int k) {

@@ -18,6 +18,7 @@ namespace crocco::gpu {
 
 namespace {
 thread_local bool tlInTask = false;
+thread_local bool tlInBatch = false;
 thread_local const char* tlLaunchTag = nullptr;
 } // namespace
 
@@ -30,6 +31,10 @@ ScopedLaunchTag::~ScopedLaunchTag() { tlLaunchTag = prev_; }
 const char* ScopedLaunchTag::current() {
     return tlLaunchTag ? tlLaunchTag : "";
 }
+
+BatchedPhaseScope::BatchedPhaseScope() : prev_(tlInBatch) { tlInBatch = true; }
+
+BatchedPhaseScope::~BatchedPhaseScope() { tlInBatch = prev_; }
 
 struct ThreadPool::Impl {
     std::mutex m;
@@ -136,6 +141,8 @@ int ThreadPool::defaultNumThreads() {
 }
 
 bool ThreadPool::inParallelRegion() { return tlInTask; }
+
+bool ThreadPool::inBatchedPhase() { return tlInBatch; }
 
 void ThreadPool::setNumThreads(int n) {
     if (n < 1) n = 1;

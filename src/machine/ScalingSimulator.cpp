@@ -209,9 +209,31 @@ RegionTimes ScalingSimulator::iterationTime(const ScalingCase& c) const {
             return worst;
         };
 
+        // Fused-pipeline kernel time: the phase's per-fab sub-kernels batch
+        // into one launch, so the launch overhead is a flat function of the
+        // kernel count per phase instead of the rank's fab count.
+        auto kernelTimeFused = [&](const gpu::KernelProfile& k,
+                                   int kernelsInPhase) {
+            double worst = 0.0;
+            for (int r = 0; r < ranks; ++r) {
+                const auto p = pts[static_cast<std::size_t>(r)];
+                if (p == 0) continue;
+                double t = m.rankKernelTime(k, p, gpuRun, cpp);
+                if (gpuRun && kernelsInPhase > 1)
+                    t += (kernelsInPhase - 1) * m.v100.launchOverhead;
+                worst = std::max(worst, t);
+            }
+            return worst;
+        };
+
         const double levelAdvance =
-            nStages * (3.0 * kernelTime(core::wenoKernelProfile()) +
-                       kernelTime(core::viscousKernelProfile()));
+            params_.fusedPipeline
+                ? nStages *
+                      (kernelTimeFused(core::fusedPrimCacheProfile(), 1) +
+                       3.0 * kernelTimeFused(core::fusedWenoKernelProfile(), 2) +
+                       kernelTimeFused(core::fusedViscousKernelProfile(), 2))
+                : nStages * (3.0 * kernelTime(core::wenoKernelProfile()) +
+                             kernelTime(core::viscousKernelProfile()));
         // Interior/halo split of the advance, mirroring the overlapped
         // solver: cells within the stencil-dependency width of a patch
         // face need fresh ghosts and go to the halo pass. The model uses
@@ -229,7 +251,10 @@ RegionTimes ScalingSimulator::iterationTime(const ScalingCase& c) const {
                 : 0.0;
         rt.advanceInterior += levelAdvance * interiorFrac;
         rt.advanceHalo += levelAdvance * (1.0 - interiorFrac);
-        rt.update += nStages * kernelTime(core::updateKernelProfile());
+        rt.update +=
+            params_.fusedPipeline
+                ? nStages * kernelTimeFused(core::fusedUpdateKernelProfile(), 1)
+                : nStages * kernelTime(core::updateKernelProfile());
         rt.computeDt += kernelTime(core::computeDtProfile());
 
         // FillPatch's on-rank work: ghost-shell data staging (local copies)

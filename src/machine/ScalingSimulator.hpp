@@ -158,6 +158,14 @@ public:
         /// Per-message fault probability on the wire (drop + corrupt rates
         /// of the injection campaign being modeled).
         double commFaultRate = 0.0;
+        /// Model the fused RHS pipeline (`core.fused`): per-stage kernel
+        /// costs switch to the fused KernelProfiles (shared primitive
+        /// cache, two-kernel WENO sweeps, fused update), and per-fab launch
+        /// overhead is replaced by a flat per-phase charge — each phase's
+        /// fab sub-kernels batch into one launch, so overhead scales with
+        /// kernels-per-phase, not fab count. Off = the seed's model,
+        /// byte-identical results.
+        bool fusedPipeline = false;
     };
 
     ScalingSimulator();

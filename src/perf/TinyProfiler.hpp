@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -12,15 +13,25 @@ namespace crocco::perf {
 /// accumulate inclusive time + call counts. The machine model also charges
 /// *modeled* time into regions via addTime(), so measured and simulated
 /// profiles share one reporting path.
+///
+/// Two further modeled columns make the fused-pipeline wins observable per
+/// region (and assertable in tests):
+///  * launches — modeled device kernel launches, captured automatically by
+///    Scope as the gpu::LaunchStats delta across the region;
+///  * modeledBytes — modeled DRAM traffic, charged explicitly by the solver
+///    via addBytes() from the KernelProfiles byte counts.
 class TinyProfiler {
 public:
     struct Entry {
         std::string name;
         double seconds = 0.0;
         std::int64_t calls = 0;
+        std::int64_t launches = 0;
+        double modeledBytes = 0.0;
     };
 
-    /// RAII timer for one region.
+    /// RAII timer for one region. Also snapshots the global launch counter
+    /// so the region accumulates the kernel launches issued inside it.
     class Scope {
     public:
         Scope(TinyProfiler& p, std::string name);
@@ -32,12 +43,17 @@ public:
         TinyProfiler& prof_;
         std::string name_;
         std::chrono::steady_clock::time_point start_;
+        std::uint64_t launchStart_;
     };
 
     void addTime(const std::string& name, double seconds, std::int64_t calls = 1);
+    void addLaunches(const std::string& name, std::int64_t launches);
+    void addBytes(const std::string& name, double bytes);
 
     double seconds(const std::string& name) const;
     std::int64_t calls(const std::string& name) const;
+    std::int64_t launches(const std::string& name) const;
+    double modeledBytes(const std::string& name) const;
     bool has(const std::string& name) const { return entries_.count(name) > 0; }
 
     /// All regions sorted by descending time.

@@ -96,6 +96,17 @@ r6=$(grep -rnE '\b(isend|irecv)\s*\(' src/ --include='*.cpp' --include='*.hpp' \
      | grep -v '^[^:]*:[0-9]*: *//' || true)
 report "R6 (raw isend/irecv outside the verified exchange)" "$r6"
 
+# R7: open-coded RK3 stage-update triples. The mult + saxpy + saxpy chain
+# (G <- A*G + dt*dU; U <- U + B*G) lives in core::rk3StageUpdate only —
+# that is where the fused kernel (core.fused) and the seed sequence are
+# kept bitwise-aligned. Any other src/ file spelling the triple against
+# the Rk3 coefficients bypasses the fusion and the R7 contract.
+r7=$(grep -rnE '(\.mult\(Rk3::|saxpy\([^)]*Rk3::)' src/ \
+     --include='*.cpp' --include='*.hpp' \
+     | grep -v '^src/core/Rk3\.cpp:' \
+     | grep -v '^[^:]*:[0-9]*: *//' || true)
+report "R7 (raw mult/saxpy RK3 stage triple outside core::rk3StageUpdate)" "$r7"
+
 # clang-tidy (optional): uses .clang-tidy at the repo root. Needs a compile
 # database; generate one on demand in build-tidy/ if a compiler is around.
 if command -v clang-tidy >/dev/null 2>&1; then
