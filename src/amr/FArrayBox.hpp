@@ -1,3 +1,5 @@
+// crocco-analyze:allow-file(R1): FArrayBox owns its storage; .data() here
+// is the allocation/copy layer the Array4 accessors are built on top of.
 #pragma once
 
 #include "amr/Array4.hpp"

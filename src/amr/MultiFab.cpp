@@ -1,3 +1,6 @@
+// crocco-analyze:allow-file(R6): MultiFab IS the verified-exchange layer —
+// these isend/irecv posts are the ones SimComm's CRC/timeout/retransmit
+// machinery wraps (see docs/correctness.md#r6).
 #include "amr/MultiFab.hpp"
 
 #include "amr/CommCache.hpp"

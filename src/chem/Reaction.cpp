@@ -1,3 +1,5 @@
+// crocco-analyze:allow-file(R1): the per-cell chemistry integrator batches
+// species pencils through a raw scratch buffer (no Array4 view exists).
 #include "chem/Reaction.hpp"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// crocco-analyze:allow-file(R1): checkpoint serialization streams whole-fab
+// payloads; raw pointers feed the CRC32 and byte-level I/O paths.
 #include "core/CroccoAmr.hpp"
 
 #include "amr/BoxList.hpp"
@@ -568,6 +570,11 @@ void CroccoAmr::rk3Advance() {
                 // tests/core/overlap_test). With core.fused the interior
                 // and halo passes run the fused pipeline per region and the
                 // dir-0 assignment replaces the setVal sweep.
+                // The matching fillPatchEnd runs inside
+                // computeRhsHaloAndEnd's task-0 drain (SignalGuard on
+                // endEvent orders it before the halo kernels) — the split
+                // IS the overlap.
+                // crocco-analyze:allow(A2): End is in computeRhsHaloAndEnd
                 fillPatchBegin(lev, Sborder);
                 if (!cfg_.fused) dU.setVal(0.0);
                 computeRhsInterior(lev, Sborder, dU);

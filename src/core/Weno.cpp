@@ -1,3 +1,5 @@
+// crocco-analyze:allow-file(R1): the FortranStyle kernel variant mirrors the
+// paper's contiguous-pencil layout and needs the raw pencil base pointers.
 #include "core/Weno.hpp"
 
 #include "core/Eigen.hpp"

@@ -1,3 +1,5 @@
+// crocco-analyze:allow-file(R1): the curvilinear coordinate store serializes
+// raw coordinate planes to disk; byte-level I/O needs the base pointer.
 #include "mesh/CoordStore.hpp"
 
 #include <cassert>

@@ -1,3 +1,5 @@
+// crocco-analyze:allow-file(R1): restart files are written/read as raw fab
+// payload bytes; the CRC32 stamp covers exactly that raw span.
 #include "resilience/RestartManager.hpp"
 
 #include "resilience/Crc32.hpp"

@@ -1,5 +1,6 @@
 #include "resilience/StateValidator.hpp"
 
+#include "amr/Box.hpp"
 #include "gpu/Gpu.hpp"
 
 #include <cmath>
@@ -28,9 +29,32 @@ HealthReport validateState(const amr::MultiFab& U, const core::GasModel& gas,
         auto a = U.const_array(f);
         const amr::Box& b = U.validBox(f);
         rep.cellsScanned += b.numPts();
-        gpu::ParallelFor(b, [&](int i, int j, int k) {
-            // Fused scan: finiteness of every component, then the decoded
-            // thermodynamic state — one sweep through memory per cell.
+        // Phase 1 — parallel prescreen. Pure per-cell predicate through the
+        // reduction (no captured mutable state, so threads cannot race on
+        // the report): 1.0 the moment any component is non-finite or the
+        // decoded state is unphysical. Healthy fabs — the common case —
+        // finish here, in one fused sweep through memory.
+        const double bad = gpu::ReduceMax(b, [&](int i, int j, int k) {
+            for (int n = 0; n < NCONS; ++n) {
+                const double v = a(i, j, k, n);
+                if (std::isnan(v) || std::isinf(v)) return 1.0;
+            }
+            const double rho = a(i, j, k, URHO);
+            if (rho <= 0.0) return 1.0;
+            const double rinv = 1.0 / rho;
+            const double p = gas.pressure(rho, a(i, j, k, UMX) * rinv,
+                                          a(i, j, k, UMY) * rinv,
+                                          a(i, j, k, UMZ) * rinv,
+                                          a(i, j, k, UEDEN));
+            return p <= 0.0 ? 1.0 : 0.0;
+        });
+        if (bad <= 0.0) continue;
+        // Phase 2 — serial report pass, only over fabs the prescreen
+        // flagged. Runs in deterministic cell order, so faultCount and the
+        // first-maxReported fault list are reproducible across thread
+        // counts (the old single-pass version mutated the report from
+        // inside the launch and raced under GPU_NUM_THREADS > 1).
+        amr::forEachCell(b, [&](int i, int j, int k) {
             bool finite = true;
             for (int n = 0; n < NCONS; ++n) {
                 const double v = a(i, j, k, n);

@@ -8,12 +8,14 @@
 
 namespace crocco::resilience {
 
-/// Cheap fused scan over one level's conserved state: one pass per fab
-/// through the gpu::ParallelFor one-thread-per-cell decomposition, checking
-/// every component for NaN/Inf and the decoded thermodynamic state for
-/// negative density/pressure. This is the shock-capturing failure signature
-/// of WENO near strong discontinuities (the paper's DMR regime): blow-ups
-/// first appear as negative density or pressure, then as NaN everywhere.
+/// Cheap fused scan over one level's conserved state: a parallel
+/// gpu::ReduceMax prescreen per fab (a pure per-cell predicate — NaN/Inf in
+/// any component, or negative decoded density/pressure) followed by a
+/// serial report pass only over fabs the prescreen flagged, so faultCount
+/// and the fault list are deterministic at any thread count. This is the
+/// shock-capturing failure signature of WENO near strong discontinuities
+/// (the paper's DMR regime): blow-ups first appear as negative density or
+/// pressure, then as NaN everywhere.
 HealthReport validateState(const amr::MultiFab& U, const core::GasModel& gas,
                            int level, int maxReported = 8);
 

@@ -1,0 +1,29 @@
+// Fixture: A1 positive — kernels mutating captured (shared) state.
+struct Box {};
+struct View {
+    double& operator()(int, int, int);
+};
+struct Stats {
+    int count = 0;
+};
+namespace gpu {
+template <class F> void ParallelFor(const Box&, F&&) {}
+}
+
+void directMutation(const Box& b, View u, Stats& stats) {
+    gpu::ParallelFor(b, [&](int i, int j, int k) {
+        if (u(i, j, k) < 0.0) stats.count++;
+    });
+}
+
+void lambdaMutation(const Box& b, View u, Stats& stats) {
+    auto note = [&](int i) {
+        ++stats.count;
+        (void)i;
+    };
+    gpu::ParallelFor(b, [&](int i, int j, int k) {
+        if (u(i, j, k) < 0.0) note(i);
+        (void)j;
+        (void)k;
+    });
+}

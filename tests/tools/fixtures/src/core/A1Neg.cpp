@@ -1,0 +1,24 @@
+// Fixture: A1 negative — the canonical clean shapes: gather stencil into a
+// distinct output fab, same-cell read-modify-write, task-indexed fabs.
+struct Box {};
+struct View {
+    double& operator()(int, int, int);
+};
+struct Fabs {
+    View array(int);
+};
+namespace gpu {
+template <class F> void ParallelFor(const Box&, F&&) {}
+template <class F> void ParallelForIndex(int, F&&) {}
+}
+
+void cleanKernels(const Box& b, Fabs& S, View out, View in, View u, View d) {
+    gpu::ParallelFor(b, [&](int i, int j, int k) {
+        out(i, j, k) = 0.25 * (in(i + 1, j, k) + in(i - 1, j, k));
+        u(i, j, k) += d(i, j, k);
+    });
+    gpu::ParallelForIndex(4, [&](int f) {
+        auto w = S.array(f);
+        w(1, 1, 1) = 0.0;
+    });
+}

@@ -1,0 +1,16 @@
+// Fixture: A1 positive — in-place stencil: the kernel writes u at its own
+// cell and reads u at neighbour cells in the same launch.
+struct Box {};
+struct View {
+    double& operator()(int, int, int);
+};
+namespace gpu {
+template <class F> void ParallelFor(const Box&, F&&) {}
+}
+
+void smooth(const Box& b, View u, View other) {
+    gpu::ParallelFor(b, [&](int i, int j, int k) {
+        u(i, j, k) = 0.5 * (u(i + 1, j, k) + u(i - 1, j, k));
+        other(i, j, k) = 1.0; // negative: write-only view
+    });
+}

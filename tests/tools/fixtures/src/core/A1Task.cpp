@@ -1,0 +1,22 @@
+// Fixture: A1 task-kernel rules. One shared-view write (positive), one
+// task-derived write and one task-conditioned write (both negative).
+struct View {
+    double& operator()(int, int, int);
+};
+struct Fabs {
+    View array(int);
+};
+namespace gpu {
+template <class F> void ParallelForIndex(int, F&&) {}
+}
+
+void taskKernels(Fabs& S, View acc, View flag) {
+    gpu::ParallelForIndex(4, [&](int task) {
+        acc(0, 0, 0) += 1.0; // positive: every task hits the same cell
+        auto u = S.array(task);
+        u(1, 1, 1) = 0.0; // negative: view derived from the task id
+        if (task == 0) {
+            flag(0, 0, 0) = 1.0; // negative: task-conditioned drain
+        }
+    });
+}

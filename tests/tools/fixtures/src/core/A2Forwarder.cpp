@@ -1,0 +1,8 @@
+// Fixture: A2 negative — *Begin/*End-named forwarders own one half of a
+// split exchange on purpose.
+struct Fab {};
+void fillBoundaryBegin(Fab&);
+void fillBoundaryEnd(Fab&);
+
+void haloBegin(Fab& U) { fillBoundaryBegin(U); }
+void haloEnd(Fab& U) { fillBoundaryEnd(U); }

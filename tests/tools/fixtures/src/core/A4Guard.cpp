@@ -1,0 +1,4 @@
+// Fixture: A4 positive — check/ internals included without the guard.
+#include "check/RaceDetector.hpp"
+
+void useDetector() {}

@@ -1,0 +1,9 @@
+// Fixture: A4 negative — guarded check internals, the always-on check
+// interface, and a declared module edge (core -> amr).
+#include "amr/MultiFab.hpp"
+#include "check/Check.hpp"
+#ifdef CROCCO_CHECK
+#include "check/RaceDetector.hpp"
+#endif
+
+void layeredOk() {}

@@ -1,0 +1,3 @@
+// Fixture: a file-wide waiver with no reason is malformed, not honoured.
+// crocco-analyze:allow-file(R2)
+void nothingHere() {}

@@ -1,0 +1,10 @@
+// Fixture: A3 — solver.alpha is documented (docs/keys.md), solver.beta is
+// queried but documented nowhere.
+struct ParmParse {
+    bool query(const char*, double&) const;
+};
+
+void readDeck(const ParmParse& pp, double& a, double& b) {
+    pp.query("solver.alpha", a);
+    pp.query("solver.beta", b);
+}

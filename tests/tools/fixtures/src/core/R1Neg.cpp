@@ -1,0 +1,6 @@
+// Fixture: R1 negative — .data() appears only in comments and strings.
+// The old grep lint flagged all of these; the token-aware rule must not.
+// A trailing mention: call buf.data() here?
+/* block comment: p = v.data() */
+const char* kMsg = "v.data() is forbidden";
+const char* kRaw = R"(x.data() inside a raw string)";

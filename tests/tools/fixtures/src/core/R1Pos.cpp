@@ -1,0 +1,7 @@
+// Fixture: R1 positive — a real raw-pointer escape.
+#include <vector>
+
+double firstValue(const std::vector<double>& v) {
+    const double* p = v.data();
+    return p[0];
+}

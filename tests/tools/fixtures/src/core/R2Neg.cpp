@@ -1,0 +1,4 @@
+// Fixture: R2 negative — threading mentioned only in comments/strings.
+// #include <thread>  (commented out: must not count as a directive)
+/* std::thread worker; */
+const char* kHint = "std::thread is banned; use gpu::ParallelFor";

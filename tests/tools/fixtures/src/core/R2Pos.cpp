@@ -1,0 +1,9 @@
+// Fixture: R2 positive — threading primitives outside the ThreadPool.
+#include <thread>
+
+void runWorkers() {
+#pragma omp parallel for
+    for (int i = 0; i < 4; ++i) {
+    }
+    std::thread worker;
+}

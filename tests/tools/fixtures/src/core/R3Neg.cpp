@@ -1,0 +1,4 @@
+// Fixture: R3 negative — defaults in a .cpp (not an interface) and a
+// non-zero default are both out of scope.
+static void helper(int srcGrow = 0) { (void)srcGrow; }
+void entry(int nGrow = 1) { helper(nGrow); }

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: R3 positive — defaulted ghost-count parameters in a header.
+void copyGhost(int dstGrow = 0, int srcGrow = 0);

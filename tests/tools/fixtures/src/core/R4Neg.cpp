@@ -1,0 +1,6 @@
+// Fixture: R4 negative — forEachCell outside the kernel files is fine.
+struct Box {};
+
+void diagnosticSweep(const Box& b) {
+    forEachCell(b, [](int, int, int) {});
+}

@@ -1,0 +1,15 @@
+// Fixture: the R5 false-negative regression (the reason A2 exists).
+// Per-file counts balance (one Begin, one End), so the old per-file grep
+// parity — and rule R5 — pass. But the Begin and End live in *different*
+// functions with no protocol tying them together: A2 must flag both.
+struct Fab {};
+void fillBoundaryBegin(Fab&);
+void fillBoundaryEnd(Fab&);
+
+void postHalo(Fab& U) {
+    fillBoundaryBegin(U);
+}
+
+void drainHalo(Fab& U) {
+    fillBoundaryEnd(U);
+}

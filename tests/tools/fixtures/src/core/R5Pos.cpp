@@ -1,0 +1,7 @@
+// Fixture: R5 + A2 positive — a Begin with no End, same function.
+struct Fab {};
+void fillBoundaryBegin(Fab&);
+
+void advance(Fab& U) {
+    fillBoundaryBegin(U);
+}

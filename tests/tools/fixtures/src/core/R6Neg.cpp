@@ -1,0 +1,4 @@
+// Fixture: R6 negative — isend/irecv in comments and strings only.
+// comm->isend(buf, n, dst) would be wrong here
+/* comm->irecv(buf, n, src) */
+const char* kDoc = "wrap isend( and irecv( in sendVerified";

@@ -1,0 +1,8 @@
+// Fixture: R6 positive — raw nonblocking posts outside SimComm.
+// (Comm is declared elsewhere; fixtures are lexed, never compiled.)
+struct Comm;
+
+void exchange(Comm* comm, double* buf) {
+    comm->isend(buf, 8, 1);
+    comm->irecv(buf, 8, 1);
+}

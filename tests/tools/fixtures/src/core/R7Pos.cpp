@@ -1,0 +1,15 @@
+// Fixture: R7 positive — the RK3 stage triple open-coded outside Rk3.cpp.
+struct Fab {
+    void mult(double, int, int);
+};
+struct Rk3 {
+    static const double alpha[3];
+    static const double beta[3];
+};
+void saxpy(Fab&, double, const Fab&);
+
+void stage(Fab& U, const Fab& R, int s) {
+    U.mult(Rk3::alpha[s], 0, 5);
+    saxpy(U, Rk3::beta[s], R);
+    U.mult(2.0, 0, 5); // negative: not an Rk3 coefficient
+}

@@ -1,0 +1,14 @@
+// Fixture: R7 negative — core/Rk3.cpp is the owner of the stage triple.
+struct Fab {
+    void mult(double, int, int);
+};
+struct Rk3 {
+    static const double alpha[3];
+    static const double beta[3];
+};
+void saxpy(Fab&, double, const Fab&);
+
+void rk3StageUpdate(Fab& U, const Fab& R, int s) {
+    U.mult(Rk3::alpha[s], 0, 5);
+    saxpy(U, Rk3::beta[s], R);
+}

@@ -1,0 +1,11 @@
+// Fixture: inline suppressions — both placements must cover the finding.
+#include <vector>
+
+double sameLine(const std::vector<double>& v) {
+    return v.data()[0]; // crocco-analyze:allow(R1): fixture, reviewed
+}
+
+double lineAbove(const std::vector<double>& v) {
+    // crocco-analyze:allow(R1): fixture, reviewed
+    return v.data()[1];
+}

@@ -1,0 +1,7 @@
+// Fixture: R4 positive — serial iteration inside a kernel file.
+// (forEachCell is declared elsewhere; fixtures are lexed, never compiled.)
+struct Box {};
+
+void fluxSweep(const Box& b) {
+    forEachCell(b, [](int, int, int) {});
+}

@@ -1,0 +1,4 @@
+// Fixture: A4 positive — gpu reaching up into core breaks the layering.
+#include "core/State.hpp"
+
+void useState() {}

@@ -1,0 +1,4 @@
+// Fixture: R2 negative — the ThreadPool implementation owns <thread>.
+#include <thread>
+
+void poolImpl() { std::thread t; }

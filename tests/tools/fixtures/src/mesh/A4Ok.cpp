@@ -1,0 +1,4 @@
+// Fixture: A4 negative — mesh -> amr is a declared dependency.
+#include "amr/Geometry.hpp"
+
+void meshOk() {}

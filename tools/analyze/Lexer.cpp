@@ -1,0 +1,195 @@
+#include "Lexer.hpp"
+
+#include <cctype>
+
+namespace crocco::analyze {
+
+namespace {
+
+bool isIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-char punctuators, longest-match-first. Only the ones the checks
+/// care to see as single tokens (assignment/compare/increment/scope/member
+/// access); everything else lexes one char at a time.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=",
+};
+
+} // namespace
+
+LexedFile lex(const std::string& path, const std::string& src) {
+    LexedFile out;
+    out.path = path;
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    int line = 1, col = 1;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t c = 0; c < count && i < n; ++c, ++i) {
+            if (src[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+    };
+
+    bool atLineStart = true; // only whitespace seen since the last newline
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            if (c == '\n') atLineStart = true;
+            advance(1);
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on the line; fold continuations.
+        if (c == '#' && atLineStart) {
+            PpDirective d;
+            d.line = line;
+            advance(1); // '#'
+            std::string text;
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    advance(2);
+                    text += ' ';
+                    continue;
+                }
+                if (src[i] == '\n') break;
+                // A // comment ends the directive's useful text.
+                if (src[i] == '/' && i + 1 < n && src[i + 1] == '/') break;
+                text += src[i];
+                advance(1);
+            }
+            // Trim and collapse leading whitespace ("#  include" -> "include").
+            std::size_t b = text.find_first_not_of(" \t");
+            std::size_t e = text.find_last_not_of(" \t");
+            d.text = (b == std::string::npos) ? std::string()
+                                              : text.substr(b, e - b + 1);
+            out.directives.push_back(std::move(d));
+            continue; // the '\n' (or //) is handled by the main loop
+        }
+        atLineStart = false;
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            Comment cm;
+            cm.line = line;
+            advance(2);
+            while (i < n && src[i] != '\n') {
+                cm.text += src[i];
+                advance(1);
+            }
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            Comment cm;
+            cm.line = line;
+            cm.block = true;
+            advance(2);
+            while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+                cm.text += src[i];
+                advance(1);
+            }
+            advance(2); // closing */
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+
+        // Raw string literal R"tag( ... )tag".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            std::size_t p = i + 2;
+            std::string tag;
+            while (p < n && src[p] != '(' && src[p] != '"' && src[p] != '\n')
+                tag += src[p++];
+            if (p < n && src[p] == '(') {
+                Token t{TokKind::String, "", line, col};
+                const std::string close = ")" + tag + "\"";
+                advance(p + 1 - i); // past R"tag(
+                while (i < n && src.compare(i, close.size(), close) != 0) {
+                    t.text += src[i];
+                    advance(1);
+                }
+                advance(close.size());
+                out.tokens.push_back(std::move(t));
+                continue;
+            }
+            // Not actually a raw string ("R" then a normal literal) — fall
+            // through and lex 'R' as an identifier.
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            Token t{c == '"' ? TokKind::String : TokKind::Char, "", line, col};
+            const char quote = c;
+            advance(1);
+            while (i < n && src[i] != quote && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n) {
+                    t.text += src[i];
+                    t.text += src[i + 1];
+                    advance(2);
+                    continue;
+                }
+                t.text += src[i];
+                advance(1);
+            }
+            advance(1); // closing quote
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        // Identifier.
+        if (isIdentStart(c)) {
+            Token t{TokKind::Identifier, "", line, col};
+            while (i < n && isIdentChar(src[i])) {
+                t.text += src[i];
+                advance(1);
+            }
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        // Number (decimal/hex/float with exponent; pp-number-ish is fine).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            Token t{TokKind::Number, "", line, col};
+            while (i < n &&
+                   (isIdentChar(src[i]) || src[i] == '.' ||
+                    ((src[i] == '+' || src[i] == '-') && !t.text.empty() &&
+                     (t.text.back() == 'e' || t.text.back() == 'E' ||
+                      t.text.back() == 'p' || t.text.back() == 'P')))) {
+                t.text += src[i];
+                advance(1);
+            }
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        // Punctuator: longest match from the table, else a single char.
+        Token t{TokKind::Punct, "", line, col};
+        for (const char* p : kPuncts) {
+            const std::size_t len = std::char_traits<char>::length(p);
+            if (src.compare(i, len, p) == 0) {
+                t.text = p;
+                break;
+            }
+        }
+        if (t.text.empty()) t.text = std::string(1, c);
+        advance(t.text.size());
+        out.tokens.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace crocco::analyze

@@ -1,0 +1,263 @@
+#include "Outline.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace crocco::analyze {
+
+namespace {
+
+bool isPunct(const Token& t, const char* s) {
+    return t.kind == TokKind::Punct && t.text == s;
+}
+bool isIdent(const Token& t) { return t.kind == TokKind::Identifier; }
+
+const std::set<std::string> kControlKeywords = {
+    "if",     "for",    "while",  "switch",   "catch",  "return",
+    "sizeof", "alignof", "decltype", "new",   "delete", "throw",
+    "static_assert", "alignas", "defined",
+};
+
+/// Function-trailer tokens allowed between ')' and '{'.
+const std::set<std::string> kTrailerIdents = {
+    "const", "noexcept", "override", "final", "mutable", "volatile", "try",
+};
+
+/// Walks backwards over one identifier chain `A::B::name` ending at token
+/// index `end` (inclusive). Returns the start index, or end+1 if token
+/// `end` is not an identifier.
+std::size_t chainStart(const std::vector<Token>& toks, std::size_t end) {
+    if (!isIdent(toks[end])) return end + 1;
+    std::size_t s = end;
+    while (s >= 2 && isPunct(toks[s - 1], "::") && isIdent(toks[s - 2]))
+        s -= 2;
+    // allow a leading '~' (destructor)
+    if (s >= 1 && isPunct(toks[s - 1], "~")) --s;
+    return s;
+}
+
+/// Matches backwards: toks[close] is ')' / '}' ; returns index of the
+/// opening bracket, or npos on imbalance.
+std::size_t matchBackward(const std::vector<Token>& toks, std::size_t close) {
+    const std::string& c = toks[close].text;
+    const char* open = c == ")" ? "(" : c == "}" ? "{" : c == "]" ? "[" : "";
+    int depth = 0;
+    for (std::size_t j = close + 1; j-- > 0;) {
+        if (toks[j].kind != TokKind::Punct) continue;
+        if (toks[j].text == c) ++depth;
+        else if (toks[j].text == open) {
+            if (--depth == 0) return j;
+        }
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+/// Pre-'{' analysis: is the '{' at `bi` a function body? If so fill `fn`.
+bool classifyBrace(const std::vector<Token>& toks, std::size_t bi,
+                   FunctionDef& fn) {
+    if (bi == 0) return false;
+    std::size_t j = bi - 1;
+    // Skip trailer identifiers (const/noexcept/override/... and `noexcept`'s
+    // or `__attribute__`'s parenthesized forms are rare enough to punt on).
+    while (j > 0 && isIdent(toks[j]) && kTrailerIdents.count(toks[j].text))
+        --j;
+    // Constructor initializer list: `) : member(expr), member{expr} {`.
+    // Walk back over balanced groups / identifiers / commas; if we hit a ':'
+    // at this level (not '::'), resume from the ')' before it.
+    {
+        std::size_t k = j;
+        bool sawGroup = false;
+        while (k > 0) {
+            const Token& t = toks[k];
+            if (isPunct(t, ")") || isPunct(t, "}")) {
+                std::size_t open = matchBackward(toks, k);
+                if (open == static_cast<std::size_t>(-1) || open == 0)
+                    return false;
+                k = open - 1;
+                sawGroup = true;
+                continue;
+            }
+            if (isIdent(t) || isPunct(t, ",") || isPunct(t, "::") ||
+                t.kind == TokKind::Number || isPunct(t, "<") ||
+                isPunct(t, ">")) {
+                --k;
+                continue;
+            }
+            if (isPunct(t, ":") && sawGroup && k > 0 && isPunct(toks[k - 1], ")")) {
+                j = k - 1; // the real parameter-list ')'
+            }
+            break;
+        }
+    }
+    if (!isPunct(toks[j], ")")) return false;
+    const std::size_t lparen = matchBackward(toks, j);
+    if (lparen == static_cast<std::size_t>(-1) || lparen == 0) return false;
+    const std::size_t nameEnd = lparen - 1;
+    if (!isIdent(toks[nameEnd])) return false;
+    if (kControlKeywords.count(toks[nameEnd].text)) return false;
+    const std::size_t nameBegin = chainStart(toks, nameEnd);
+    if (nameBegin > nameEnd) return false;
+    // A lambda introducer `](...){` never reaches here (token before '('
+    // must be an identifier). Reject `operator()` style for simplicity.
+    fn.name = toks[nameEnd].text;
+    fn.qualified = spanText(toks, nameBegin, nameEnd + 1);
+    fn.line = toks[nameEnd].line;
+    fn.bodyBegin = static_cast<int>(bi);
+    return true;
+}
+
+} // namespace
+
+std::size_t matchForward(const std::vector<Token>& toks, std::size_t open) {
+    const std::string& o = toks[open].text;
+    const char* close = o == "(" ? ")" : o == "{" ? "}" : o == "[" ? "]" : "";
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+        if (toks[j].kind != TokKind::Punct) continue;
+        if (toks[j].text == o) ++depth;
+        else if (toks[j].text == close) {
+            if (--depth == 0) return j;
+        }
+    }
+    return toks.size();
+}
+
+std::string spanText(const std::vector<Token>& toks, std::size_t begin,
+                     std::size_t end) {
+    std::string s;
+    for (std::size_t j = begin; j < end && j < toks.size(); ++j) {
+        const Token& t = toks[j];
+        if (!s.empty() && (isIdent(t) || t.kind == TokKind::Number) &&
+            (std::isalnum(static_cast<unsigned char>(s.back())) ||
+             s.back() == '_'))
+            s += ' ';
+        if (t.kind == TokKind::String) {
+            s += '"';
+            s += t.text;
+            s += '"';
+        } else {
+            s += t.text;
+        }
+    }
+    return s;
+}
+
+Outline buildOutline(const LexedFile& lexed) {
+    Outline out;
+
+    // --- includes, with CROCCO_CHECK guard tracking --------------------
+    struct CondFrame {
+        bool guards = false;   ///< current branch is CROCCO_CHECK-only
+        bool checkCond = false; ///< the condition mentions CROCCO_CHECK
+    };
+    std::vector<CondFrame> cond;
+    for (const PpDirective& d : lexed.directives) {
+        const std::string& t = d.text;
+        auto starts = [&](const char* p) {
+            return t.rfind(p, 0) == 0;
+        };
+        if (starts("ifdef") || starts("ifndef") || starts("if")) {
+            CondFrame f;
+            if (t.find("CROCCO_CHECK") != std::string::npos) {
+                f.checkCond = true;
+                f.guards = !starts("ifndef") && t.find('!') == std::string::npos;
+            }
+            cond.push_back(f);
+        } else if (starts("elif")) {
+            if (!cond.empty()) {
+                cond.back().checkCond =
+                    t.find("CROCCO_CHECK") != std::string::npos;
+                cond.back().guards = cond.back().checkCond;
+            }
+        } else if (starts("else")) {
+            if (!cond.empty() && cond.back().checkCond)
+                cond.back().guards = !cond.back().guards;
+        } else if (starts("endif")) {
+            if (!cond.empty()) cond.pop_back();
+        } else if (starts("include")) {
+            IncludeDirective inc;
+            inc.line = d.line;
+            std::size_t q1 = t.find('"');
+            std::size_t a1 = t.find('<');
+            if (q1 != std::string::npos) {
+                std::size_t q2 = t.find('"', q1 + 1);
+                if (q2 != std::string::npos)
+                    inc.header = t.substr(q1 + 1, q2 - q1 - 1);
+            } else if (a1 != std::string::npos) {
+                std::size_t a2 = t.find('>', a1 + 1);
+                inc.angled = true;
+                if (a2 != std::string::npos)
+                    inc.header = t.substr(a1 + 1, a2 - a1 - 1);
+            }
+            for (const CondFrame& f : cond)
+                if (f.guards) inc.checkGuarded = true;
+            if (!inc.header.empty()) out.includes.push_back(std::move(inc));
+        }
+    }
+
+    // --- function bodies ----------------------------------------------
+    const std::vector<Token>& toks = lexed.tokens;
+    std::vector<std::pair<std::size_t, std::size_t>> bodies; // avoid nesting
+    for (std::size_t ti = 0; ti < toks.size(); ++ti) {
+        if (!isPunct(toks[ti], "{")) continue;
+        bool insideKnown = false;
+        for (const auto& b : bodies)
+            if (ti > b.first && ti < b.second) insideKnown = true;
+        if (insideKnown) continue; // lambdas/blocks live in their function
+        FunctionDef fn;
+        if (!classifyBrace(toks, ti, fn)) continue;
+        const std::size_t close = matchForward(toks, ti);
+        fn.bodyEnd = static_cast<int>(close);
+        bodies.emplace_back(ti, close);
+        out.functions.push_back(std::move(fn));
+    }
+
+    // --- call expressions inside function bodies ----------------------
+    for (std::size_t fi = 0; fi < out.functions.size(); ++fi) {
+        const FunctionDef& fn = out.functions[fi];
+        for (std::size_t ti = static_cast<std::size_t>(fn.bodyBegin) + 1;
+             ti + 1 < static_cast<std::size_t>(fn.bodyEnd); ++ti) {
+            if (!isIdent(toks[ti]) || !isPunct(toks[ti + 1], "("))
+                continue;
+            if (kControlKeywords.count(toks[ti].text)) continue;
+            CallExpr call;
+            call.name = toks[ti].text;
+            call.line = toks[ti].line;
+            call.nameTok = static_cast<int>(ti);
+            call.lparen = static_cast<int>(ti + 1);
+            const std::size_t rp = matchForward(toks, ti + 1);
+            call.rparen = static_cast<int>(rp);
+            call.func = static_cast<int>(fi);
+            // Access chain: walk back over `.` / `->` / `::` segments.
+            std::size_t cs = chainStart(toks, ti);
+            while (cs >= 2 &&
+                   (isPunct(toks[cs - 1], ".") || isPunct(toks[cs - 1], "->") ||
+                    isPunct(toks[cs - 1], "::")) &&
+                   isIdent(toks[cs - 2]))
+                cs = chainStart(toks, cs - 2);
+            call.chain = spanText(toks, cs, ti + 1);
+            // Argument spans split at top-level commas.
+            std::size_t argBegin = ti + 2;
+            int depth = 0;
+            for (std::size_t j = ti + 2; j < rp; ++j) {
+                const Token& t = toks[j];
+                if (t.kind == TokKind::Punct) {
+                    if (t.text == "(" || t.text == "[" || t.text == "{")
+                        ++depth;
+                    else if (t.text == ")" || t.text == "]" || t.text == "}")
+                        --depth;
+                    else if (t.text == "," && depth == 0) {
+                        call.argSpans.emplace_back(argBegin, j);
+                        argBegin = j + 1;
+                    }
+                }
+            }
+            if (rp > argBegin || !call.argSpans.empty()) // zero-arg: no spans
+                call.argSpans.emplace_back(argBegin, rp);
+            out.calls.push_back(std::move(call));
+        }
+    }
+    return out;
+}
+
+} // namespace crocco::analyze

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "Checks.hpp"
+#include "Model.hpp"
+
+#include <iosfwd>
+#include <vector>
+
+namespace crocco::analyze {
+
+/// Human-readable listing: one `file:line: [RULE] message` per finding,
+/// followed by a per-rule summary. Suppressed findings are printed only
+/// when `showSuppressed` (tagged `[suppressed]`).
+void writeText(std::ostream& os, const std::vector<Finding>& findings,
+               bool showSuppressed);
+
+/// Machine-readable dump of every finding (suppressed ones carry
+/// "suppressed": true) plus per-rule counts.
+void writeJson(std::ostream& os, const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0: rules from ruleCatalog(), one result per finding;
+/// suppressed findings carry an inline suppression object, so SARIF
+/// viewers show them greyed out rather than dropped.
+void writeSarif(std::ostream& os, const std::vector<Finding>& findings);
+
+/// The generated docs/deck-keys.md registry (a table of every queried deck
+/// key and where it is read). Written by --write-deck-registry and compared
+/// verbatim by check A3's companion CI step.
+void writeDeckRegistry(std::ostream& os, const std::vector<DeckKeyUse>& keys);
+
+} // namespace crocco::analyze

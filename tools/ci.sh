@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full CI sweep: lint, the Release tier-1 suite, the CROCCO_CHECK
+# Full CI sweep: the crocco-analyze lane (static analysis + deck-key
+# registry drift), the Release tier-1 suite, the CROCCO_CHECK
 # instrumentation suite, and the sanitizer suite — each in its own build
 # tree so configurations never contaminate each other.
 #
@@ -10,8 +11,16 @@ cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 
-echo "== lint =="
-tools/lint.sh
+echo "== analyze (crocco-analyze, SARIF artifact) =="
+# Gate: the analyzer must come back clean (inline-suppressed findings are
+# fine, anything else fails). The SARIF log is the reviewable artifact.
+ANALYZE_FLAGS="--sarif crocco-analyze.sarif" tools/lint.sh
+# The committed deck-key registry must match the query sites in the code.
+build-analyze/tools/analyze/crocco-analyze --root . --write-deck-registry >/dev/null
+if ! git diff --exit-code -- docs/deck-keys.md; then
+    echo "ci: docs/deck-keys.md is stale — commit the regenerated registry"
+    exit 1
+fi
 
 echo "== tier-1 (Release) =="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

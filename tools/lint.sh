@@ -1,114 +1,38 @@
 #!/usr/bin/env bash
-# CroccoCheck source lint: repo-specific rules that keep the correctness
-# instrumentation effective (docs/correctness.md), plus clang-tidy when the
-# toolchain provides it. Run from the repo root (`make lint` does).
+# Source lint driver. The rules themselves live in the crocco-analyze
+# static analyzer (tools/analyze/, built by the root CMake): token-aware
+# re-implementations of the original grep rules R1–R7 plus the
+# whole-program passes A1–A4. See docs/correctness.md for the full rule
+# catalogue and the `// crocco-analyze:allow(<rule>): reason` suppression
+# syntax that replaced the old file-granular grep allowlists.
 #
-# Rules:
-#   R1  No new `.data()` raw-pointer escapes outside the allowlist. Raw
-#       pointers bypass the checked Array4 accessors, so every escape must
-#       be a reviewed idiom (fab storage owner, WENO line buffers, binary
-#       I/O of plain vectors).
-#   R2  No std::thread / <thread> / OpenMP outside src/gpu/. All parallelism
-#       routes through the ThreadPool so the race detector sees it.
-#   R3  No defaulted ghost-count parameters (`...Grow = 0`). Call sites must
-#       state how many ghost layers a copy touches; silent defaults caused
-#       valid-region copies where ghost copies were intended.
-#   R4  No amr::forEachCell in the flux/transport kernel files. Kernels
-#       iterate through gpu::ParallelFor so thread scaling and the race
-#       detector cover them.
-#   R5  Every fillBoundaryBegin / FillPatch...Begin in src/ must have a
-#       matching End in the same file (per-file count parity). A Begin whose
-#       End never runs leaves the exchange permanently in flight; the next
-#       Begin aborts at runtime, but the lint catches the mismatch at review
-#       time.
-#   R6  No raw isend/irecv outside SimComm itself and MultiFab's async
-#       exchange. Raw posts bypass the hardened-exchange policy (CRC stamp,
-#       receive timeout, bounded retransmit, NACK-on-corruption), so a fault
-#       injected on such a message would be silent. New p2p traffic must go
-#       through MultiFab or SimComm::sendVerified, or extend the allowlist
-#       after wiring the same verification in.
-set -u
+# This script only (1) builds the analyzer, (2) runs it over the repo,
+# (3) runs clang-tidy when the toolchain provides it. Run from the repo
+# root (`make lint` does).
+set -eu
 cd "$(dirname "$0")/.."
 
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+BUILD=${ANALYZE_BUILD:-build-analyze}
+
+# Build (or reuse) the analyzer. The configure step is cached: a build tree
+# that already has a generated CMakeCache is not reconfigured.
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+    cmake -B "$BUILD" -S . -DCROCCO_BUILD_TESTS=OFF -DCROCCO_BUILD_BENCH=OFF \
+          -DCROCCO_BUILD_EXAMPLES=OFF >/dev/null
+fi
+cmake --build "$BUILD" --target crocco-analyze -j "$JOBS" >/dev/null
+
 fail=0
-report() { # report <rule> <matches>
-    if [ -n "$2" ]; then
-        echo "lint: $1 violated:"
-        echo "$2" | sed 's/^/  /'
-        fail=1
-    fi
-}
+if ! "$BUILD"/tools/analyze/crocco-analyze --root . ${ANALYZE_FLAGS:-}; then
+    fail=1
+fi
 
-# R1: .data() escapes. Allowlist is file-granular — extend it only after
-# review (the point is making new escapes show up here).
-R1_ALLOW='^src/(amr/FArrayBox\.(cpp|hpp)|core/Weno\.cpp|core/CroccoAmr\.cpp|chem/Reaction\.cpp|mesh/CoordStore\.cpp|resilience/RestartManager\.cpp):'
-r1=$(grep -rn '\.data()' src/ --include='*.cpp' --include='*.hpp' \
-     | grep -Ev "$R1_ALLOW" || true)
-report "R1 (.data() escape outside allowlist)" "$r1"
-
-# R2: threading primitives outside the pool.
-r2=$(grep -rnE '#include <thread>|std::thread\b|#pragma omp|#include <omp\.h>' \
-     src/ --include='*.cpp' --include='*.hpp' \
-     | grep -v '^src/gpu/ThreadPool\.' \
-     | grep -v '^[^:]*:[0-9]*: *//' || true)
-report "R2 (threading primitive outside src/gpu/ThreadPool)" "$r2"
-
-# R3: defaulted ghost counts in declarations (matches parameters like
-# `int dstNGrow = 0,`; member initializers end with `;` or `{`).
-r3=$(grep -rnE 'Grow = 0[,)]' src/ --include='*.hpp' || true)
-report "R3 (defaulted ghost-count parameter)" "$r3"
-
-# R4: serial cell loops inside kernel files.
-r4=$(grep -n 'forEachCell' src/core/Weno.cpp src/core/Viscous.cpp \
-     src/core/Sgs.cpp src/core/Rans.cpp src/core/SpeciesTransport.cpp \
-     2>/dev/null || true)
-report "R4 (forEachCell in kernel file)" "$r4"
-
-# R5: Begin/End pairing of the async exchange, per file. Counts call sites
-# of each Begin entry point against its End in the same file; declarations
-# and definitions in the amr/ sources that implement the API are skipped
-# (tests deliberately misuse the API, so only src/ is scanned).
-r5=""
-for pair in "fillBoundaryBegin fillBoundaryEnd" \
-            "FillPatchSingleLevelBegin FillPatchSingleLevelEnd" \
-            "FillPatchTwoLevelsBegin FillPatchTwoLevelsEnd"; do
-    begin=${pair% *}
-    end=${pair#* }
-    for f in $(grep -rlE "$begin|$end" src/ --include='*.cpp' 2>/dev/null \
-               | grep -v '^src/amr/'); do
-        nb=$(grep -cE "\b$begin\(" "$f" || true)
-        ne=$(grep -cE "\b$end\(" "$f" || true)
-        if [ "$nb" != "$ne" ]; then
-            r5="$r5
-$f: $nb $begin vs $ne $end"
-        fi
-    done
-done
-r5=$(echo "$r5" | sed '/^$/d')
-report "R5 (async exchange Begin without matching End)" "$r5"
-
-# R6: raw nonblocking posts outside the hardened-exchange implementation.
-# Allowlist is file-granular: SimComm owns the API, MultiFab's async
-# exchange is the one reviewed caller (it stamps CRCs and verifies at End).
-R6_ALLOW='^src/(parallel/SimComm\.(cpp|hpp)|amr/MultiFab\.cpp):'
-r6=$(grep -rnE '\b(isend|irecv)\s*\(' src/ --include='*.cpp' --include='*.hpp' \
-     | grep -Ev "$R6_ALLOW" \
-     | grep -v '^[^:]*:[0-9]*: *//' || true)
-report "R6 (raw isend/irecv outside the verified exchange)" "$r6"
-
-# R7: open-coded RK3 stage-update triples. The mult + saxpy + saxpy chain
-# (G <- A*G + dt*dU; U <- U + B*G) lives in core::rk3StageUpdate only —
-# that is where the fused kernel (core.fused) and the seed sequence are
-# kept bitwise-aligned. Any other src/ file spelling the triple against
-# the Rk3 coefficients bypasses the fusion and the R7 contract.
-r7=$(grep -rnE '(\.mult\(Rk3::|saxpy\([^)]*Rk3::)' src/ \
-     --include='*.cpp' --include='*.hpp' \
-     | grep -v '^src/core/Rk3\.cpp:' \
-     | grep -v '^[^:]*:[0-9]*: *//' || true)
-report "R7 (raw mult/saxpy RK3 stage triple outside core::rk3StageUpdate)" "$r7"
-
-# clang-tidy (optional): uses .clang-tidy at the repo root. Needs a compile
-# database; generate one on demand in build-tidy/ if a compiler is around.
+# clang-tidy: uses the pinned check list in .clang-tidy at the repo root.
+# Needs a compile database; generate one on demand in build-tidy/. The lane
+# is BLOCKING when clang-tidy is available (the check list is pinned, so a
+# toolchain upgrade cannot spring new checks on the tree) and skipped with
+# a notice when it is not.
 if command -v clang-tidy >/dev/null 2>&1; then
     if [ ! -f build-tidy/compile_commands.json ]; then
         cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
