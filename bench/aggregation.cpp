@@ -1,0 +1,173 @@
+// PR9 bench: rank-pair aggregated communication (comm.aggregate).
+//
+// Methodology (execute the structure, model the time): a multi-level DMR
+// hierarchy is advanced one steady-state step at 8 simulated ranks with the
+// exchange aggregation off and then on, and the SimComm message log is
+// compared directly — same payload bytes on the wire (aggregation packs, it
+// never duplicates or drops), but one message per communicating rank pair
+// instead of one per intersecting box pair. The message-count ratio is the
+// executed observable; the gate requires >= 10x.
+//
+// The multi-node effect is then modeled with ScalingSimulator's α-β
+// decomposition (Params::aggregateComm): α (latency per message) shrinks
+// with the message count while β (bandwidth) keeps the byte volume, at the
+// price of a higher posting cost for the pack/unpack staging passes. The
+// gate requires a > 1.0 modeled step speedup at 2048 and 4096 nodes.
+//
+// JSON on stdout (composed into BENCH_PR9.json by run_bench_pr9.sh); the
+// readable table goes to stderr. Exits nonzero when a gate misses, so the
+// aggregation_bench ctest under `ctest -L perf` enforces both gates.
+#include "amr/CommCache.hpp"
+#include "core/CroccoAmr.hpp"
+#include "machine/ScalingSimulator.hpp"
+#include "parallel/SimComm.hpp"
+#include "problems/Dmr.hpp"
+
+#include <cstdint>
+#include <cstdio>
+
+using namespace crocco;
+
+namespace {
+
+struct StepTraffic {
+    std::int64_t messages = 0; ///< p2p + ParallelCopy (reductions excluded)
+    std::int64_t bytes = 0;
+};
+
+/// One steady-state DMR step's exchange traffic with aggregation on or off.
+StepTraffic measureStep(bool aggregate) {
+    auto& cache = amr::CommCache::instance();
+    cache.clear();
+    cache.resetStats();
+
+    problems::Dmr::Options opts;
+    opts.nx = 64;
+    opts.ny = 48;
+    opts.nz = 32;
+    opts.maxLevel = 2;
+    problems::Dmr dmr(opts);
+    auto cfg = dmr.solverConfig(core::CodeVersion::V20);
+    // Small boxes spread over 8 ranks: every rank owns dozens, so the
+    // unaggregated exchange posts hundreds of box-pair messages while at
+    // most 8*7 rank pairs can ever communicate.
+    cfg.amrInfo.maxGridSize = 16;
+    cfg.regridFreq = 1000; // freeze the hierarchy for a steady-state step
+    cfg.nranks = 8;
+    cfg.commAggregate = aggregate;
+    parallel::SimComm comm(static_cast<int>(cfg.nranks));
+    core::CroccoAmr solver(dmr.geometry(), cfg, dmr.mapping(), &comm);
+    solver.init(dmr.initialCondition(), dmr.boundaryConditions());
+    solver.evolve(2); // warm the comm-pattern (and plan) cache
+
+    comm.log().clear();
+    solver.step();
+
+    StepTraffic t;
+    for (const auto& m : comm.log().messages()) {
+        if (m.kind == parallel::MessageKind::Reduction) continue;
+        ++t.messages;
+        t.bytes += m.bytes;
+    }
+    cache.clear();
+    cache.setAggregate(false);
+    return t;
+}
+
+} // namespace
+
+int main() {
+    const StepTraffic off = measureStep(false);
+    const StepTraffic on = measureStep(true);
+    const double ratio =
+        on.messages > 0 ? static_cast<double>(off.messages) / on.messages : 0.0;
+
+    std::fprintf(stderr,
+                 "executed DMR step at 8 ranks: %lld msgs / %lld bytes "
+                 "unaggregated, %lld msgs / %lld bytes aggregated (%.1fx "
+                 "fewer messages)\n",
+                 static_cast<long long>(off.messages),
+                 static_cast<long long>(off.bytes),
+                 static_cast<long long>(on.messages),
+                 static_cast<long long>(on.bytes), ratio);
+
+    std::printf("{\n");
+    std::printf("  \"layout\": \"DMR 64x48x32, 3 levels, max_grid_size 16, "
+                "8 ranks, one steady-state step\",\n");
+    std::printf("  \"executed\": {\"messages_unaggregated\": %lld, "
+                "\"messages_aggregated\": %lld, \"bytes_unaggregated\": %lld, "
+                "\"bytes_aggregated\": %lld, \"message_reduction\": %.2f},\n",
+                static_cast<long long>(off.messages),
+                static_cast<long long>(on.messages),
+                static_cast<long long>(off.bytes),
+                static_cast<long long>(on.bytes), ratio);
+
+    // Modeled multi-node sweep: the α-β decomposition of the ghost exchange
+    // and the modeled overlapped step time, aggregation off vs on.
+    machine::ScalingSimulator plain;
+    auto aggParams = plain.params();
+    aggParams.aggregateComm = true;
+    machine::ScalingSimulator agg(aggParams);
+
+    std::fprintf(stderr, "%8s %12s %12s %12s %12s %12s %10s\n", "nodes",
+                 "msgs off", "msgs on", "alpha off s", "alpha on s",
+                 "beta s", "speedup");
+    std::printf("  \"modeled\": [\n");
+    const int nodeCounts[] = {256, 1024, 2048, 4096};
+    double speedup2048 = 0.0, speedup4096 = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        const int nodes = nodeCounts[i];
+        const machine::ScalingCase c{core::CodeVersion::V20, nodes,
+                                     41000000ll * nodes};
+        const auto rOff = plain.iterationTime(c);
+        const auto rOn = agg.iterationTime(c);
+        const double speedup = rOff.totalOverlapped() / rOn.totalOverlapped();
+        if (nodes == 2048) speedup2048 = speedup;
+        if (nodes == 4096) speedup4096 = speedup;
+        std::fprintf(stderr, "%8d %12lld %12lld %12.5f %12.5f %12.5f %9.3fx\n",
+                     nodes, static_cast<long long>(rOff.fbDecomp.messages),
+                     static_cast<long long>(rOn.fbDecomp.messages),
+                     rOff.fbDecomp.alpha, rOn.fbDecomp.alpha,
+                     rOn.fbDecomp.beta, speedup);
+        std::printf(
+            "    {\"nodes\": %d, \"fb_messages_off\": %lld, "
+            "\"fb_messages_on\": %lld, \"fb_alpha_off_s\": %.6f, "
+            "\"fb_alpha_on_s\": %.6f, \"fb_beta_off_s\": %.6f, "
+            "\"fb_beta_on_s\": %.6f, \"step_off_s\": %.6f, "
+            "\"step_on_s\": %.6f, \"modeled_speedup\": %.3f}%s\n",
+            nodes, static_cast<long long>(rOff.fbDecomp.messages),
+            static_cast<long long>(rOn.fbDecomp.messages), rOff.fbDecomp.alpha,
+            rOn.fbDecomp.alpha, rOff.fbDecomp.beta, rOn.fbDecomp.beta,
+            rOff.totalOverlapped(), rOn.totalOverlapped(), speedup,
+            i < 3 ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"gates\": {\"message_reduction_min\": 10.0, "
+                "\"message_reduction\": %.2f, \"speedup_2048\": %.3f, "
+                "\"speedup_4096\": %.3f}\n}\n",
+                ratio, speedup2048, speedup4096);
+
+    int rc = 0;
+    if (ratio < 10.0) {
+        std::fprintf(stderr,
+                     "GATE MISS: message reduction %.2fx < 10x required\n",
+                     ratio);
+        rc = 1;
+    }
+    if (off.bytes != on.bytes) {
+        std::fprintf(stderr,
+                     "GATE MISS: aggregation changed wire bytes (%lld != "
+                     "%lld) — packing must conserve the payload\n",
+                     static_cast<long long>(off.bytes),
+                     static_cast<long long>(on.bytes));
+        rc = 1;
+    }
+    if (speedup2048 <= 1.0 || speedup4096 <= 1.0) {
+        std::fprintf(stderr,
+                     "GATE MISS: modeled speedup %.3fx @2048 / %.3fx @4096 "
+                     "nodes must both exceed 1.0\n",
+                     speedup2048, speedup4096);
+        rc = 1;
+    }
+    return rc;
+}

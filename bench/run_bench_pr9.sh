@@ -1,0 +1,30 @@
+#!/bin/sh
+# Runs the PR9 aggregation bench and composes its JSON into BENCH_PR9.json:
+# the executed message-count/byte comparison of one DMR step at 8 ranks
+# with comm.aggregate off vs on, and the ScalingSimulator α-β decomposition
+# sweep (Params::aggregateComm) with the modeled step speedup at 256..4096
+# nodes. The bench binary itself enforces the PR9 gates (>= 10x fewer
+# messages, byte conservation, > 1.0 modeled speedup at 2048 and 4096
+# nodes) and exits nonzero on a miss.
+#
+# Usage: bench/run_bench_pr9.sh [build-dir] [output.json]
+set -e
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_PR9.json}
+
+if [ ! -x "$BUILD/bench/aggregation" ]; then
+    echo "error: $BUILD/bench/aggregation not built (cmake --build $BUILD --target aggregation)" >&2
+    exit 1
+fi
+
+AGG=$("$BUILD/bench/aggregation")
+
+{
+    echo '{'
+    echo '  "bench": "PR9: rank-pair aggregated communication (one packed message per communicating rank pair; comm.aggregate)",'
+    echo "  \"aggregation\": $AGG"
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

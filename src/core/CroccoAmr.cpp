@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <stdexcept>
 
 namespace crocco::core {
@@ -91,6 +92,7 @@ CroccoAmr::CroccoAmr(const amr::Geometry& geom0, const Config& cfg,
     cache.setEnabled(cfg.commCache);
     cache.setCapacity(static_cast<std::size_t>(std::max(cfg.commCacheCapacity, 0)));
     cache.attachProfiler(&prof_);
+    cache.setAggregate(cfg.commAggregate);
     if (auto* c = this->comm()) {
         // Hardened-exchange policy from the deck (comm.* keys). Zero-valued
         // knobs keep SimComm's defaults so decks without the keys are
@@ -615,7 +617,20 @@ void CroccoAmr::rk3Advance() {
     }
 }
 
+void CroccoAmr::emitCommSummary() {
+    if (!cfg_.commLogSummary) return;
+    const auto* c = comm();
+    if (!c) return;
+    const parallel::CommLog::Summary s = c->log().summarize(commLogMark_);
+    lastCommSummary_ =
+        "step " + std::to_string(step_) + " " +
+        parallel::CommLog::formatSummary(s);
+    std::cout << lastCommSummary_ << '\n';
+    commLogMark_ = c->log().count();
+}
+
 void CroccoAmr::step() {
+    if (cfg_.commLogSummary && comm()) commLogMark_ = comm()->log().count();
     // Scheduled rank deaths fire at step boundaries: the node dies between
     // iterations, and the first communication touching it — a regrid
     // exchange, the ComputeDt reduction, or an RK3 waitall — raises
@@ -636,6 +651,7 @@ void CroccoAmr::step() {
     if (!cfg_.guard.enabled) {
         rk3Advance();
         if (faultInjector_) faultInjector_->corruptState(step_, U_, finestLevel());
+        emitCommSummary();
         time_ += dt_;
         ++step_;
         return;
@@ -674,6 +690,7 @@ void CroccoAmr::step() {
         ++rollbackCount_;
         dt_ *= cfg_.guard.dtBackoff;
     }
+    emitCommSummary();
     time_ += dt_;
     ++step_;
 }

@@ -99,6 +99,15 @@ public:
         /// Retransmit budget per message before the exchange raises a
         /// located error (`comm.max_retransmits`); 0 keeps the default.
         int commMaxRetransmits = 0;
+        /// Aggregate all exchange traffic between each rank pair into one
+        /// packed message (`comm.aggregate`). Bitwise-identical field data;
+        /// the SimComm log intentionally shrinks to one message per
+        /// communicating pair. Default off so the seed's message-log
+        /// contract is unchanged.
+        bool commAggregate = false;
+        /// Print a per-step exchange summary (messages, bytes, retransmits)
+        /// from the CommLog after every step (`comm.log_summary`).
+        bool commLogSummary = false;
 
         static Config forVersion(CodeVersion v);
     };
@@ -143,6 +152,11 @@ public:
 
     /// Health report of the last completed (healthy) step.
     const resilience::HealthReport& lastHealth() const { return lastHealth_; }
+    /// The exchange digest of the last completed step, as printed under
+    /// comm.log_summary ("step N comm: msgs=... bytes=... ..."); empty when
+    /// the key is off or no step has run. Tests assert on this instead of
+    /// scraping stdout.
+    const std::string& lastCommSummary() const { return lastCommSummary_; }
     /// Rollback/retry attempts performed over the solver's lifetime.
     int rollbackCount() const { return rollbackCount_; }
     /// Checkpoint-restore recoveries performed by evolve() overloads.
@@ -245,6 +259,10 @@ private:
     /// buddy copy exists — the communicator is still shrunk, and the
     /// caller must restore from disk instead.
     bool recoverFromRankDeath(int deadRank, const EvolveOptions& opts);
+    /// comm.log_summary: render + print the digest of the traffic this
+    /// step generated (from commLogMark_ to the log end) and advance the
+    /// mark. No-op unless the key is on and a communicator is attached.
+    void emitCommSummary();
 
     Config cfg_;
     std::shared_ptr<const mesh::Mapping> mapping_;
@@ -264,6 +282,10 @@ private:
     int step_ = 0;
 
     resilience::FaultInjector* faultInjector_ = nullptr;
+    /// CommLog index where the current step's traffic starts — the
+    /// comm.log_summary printout summarizes messages from this mark on.
+    std::size_t commLogMark_ = 0;
+    std::string lastCommSummary_;
     resilience::HealthReport lastHealth_;
     int rollbackCount_ = 0;
     int recoveryCount_ = 0;

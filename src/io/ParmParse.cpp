@@ -225,6 +225,8 @@ core::CroccoAmr::Config ParmParse::makeConfig(core::CroccoAmr::Config cfg) const
     query("comm.timeout", cfg.commTimeout);
     query("comm.verify", cfg.commVerify);
     query("comm.max_retransmits", cfg.commMaxRetransmits);
+    query("comm.aggregate", cfg.commAggregate);
+    query("comm.log_summary", cfg.commLogSummary);
     if (cfg.commTimeout < 0.0)
         throw std::runtime_error("comm.timeout: must be >= 0 (0 = default)");
     if (cfg.commMaxRetransmits < 0)

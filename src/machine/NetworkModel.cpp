@@ -11,13 +11,21 @@ double NetworkModel::contention(int nodes) const {
     return 1.0 + contentionPerDoubling * std::log2(static_cast<double>(nodes));
 }
 
-double NetworkModel::p2pPhaseTime(int nmsgs, std::int64_t bytes, int nodes,
-                                  bool gpuRun, int ranksPerNode) const {
+double NetworkModel::alphaTime(int nmsgs, bool gpuRun) const {
     const double perMsg = latency + (gpuRun ? gpuStagingOverhead : 0.0);
+    return nmsgs * perMsg;
+}
+
+double NetworkModel::betaTime(std::int64_t bytes, int nodes, bool gpuRun,
+                              int ranksPerNode) const {
     const double rankBandwidth =
         bandwidth * (gpuRun ? gpuDirectFactor : 1.0) / std::max(1, ranksPerNode);
-    return nmsgs * perMsg +
-           static_cast<double>(bytes) / rankBandwidth * contention(nodes);
+    return static_cast<double>(bytes) / rankBandwidth * contention(nodes);
+}
+
+double NetworkModel::p2pPhaseTime(int nmsgs, std::int64_t bytes, int nodes,
+                                  bool gpuRun, int ranksPerNode) const {
+    return alphaTime(nmsgs, gpuRun) + betaTime(bytes, nodes, gpuRun, ranksPerNode);
 }
 
 double NetworkModel::reductionTime(int nranks, int nodes) const {

@@ -32,9 +32,21 @@ struct NetworkModel {
     /// Congestion multiplier at a node count (1.0 for a single node).
     double contention(int nodes) const;
 
+    /// Latency (α) term of a point-to-point phase: the per-message fixed
+    /// cost paid nmsgs times. This is the term rank-pair aggregation
+    /// attacks — fewer, larger messages shrink α while β is unchanged.
+    double alphaTime(int nmsgs, bool gpuRun) const;
+
+    /// Bandwidth (β) term of a point-to-point phase: `bytes` through the
+    /// rank's share of the node's injection bandwidth, inflated by
+    /// fat-tree contention at `nodes`.
+    double betaTime(std::int64_t bytes, int nodes, bool gpuRun,
+                    int ranksPerNode) const;
+
     /// Time for the busiest rank's point-to-point phase: nmsgs messages
     /// totalling `bytes` (sent + received), with the node's injection
-    /// bandwidth split across `ranksPerNode` ranks.
+    /// bandwidth split across `ranksPerNode` ranks. Exactly
+    /// alphaTime + betaTime.
     double p2pPhaseTime(int nmsgs, std::int64_t bytes, int nodes, bool gpuRun,
                         int ranksPerNode) const;
 

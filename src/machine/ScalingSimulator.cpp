@@ -7,6 +7,9 @@
 #include <cassert>
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
 
 namespace crocco::machine {
 
@@ -64,39 +67,67 @@ Geometry makeGeom(const Box& domain) {
     return Geometry(domain, {0, 0, 0}, {1, 1, 1}, per);
 }
 
-/// Off-rank message pattern of a FillBoundary on one level.
-PhaseLoad fillBoundaryLoad(const LevelMeta& L, int ng, int ncomp, int nranks) {
+/// One raw box-to-box transfer before any aggregation.
+struct RawMsg {
+    int src;
+    int dst;
+    std::int64_t bytes;
+};
+
+/// Fold raw transfers into a PhaseLoad. With `aggregate` set, all traffic
+/// between each (src, dst) rank pair collapses into one packed message —
+/// exactly what MultiFab's aggregation plan sends on the wire.
+PhaseLoad foldMessages(const std::vector<RawMsg>& msgs, int nranks,
+                       bool aggregate) {
     PhaseLoad load(nranks);
+    if (!aggregate) {
+        for (const RawMsg& m : msgs) load.addMessage(m.src, m.dst, m.bytes);
+        return load;
+    }
+    std::map<std::pair<int, int>, std::int64_t> pairs;
+    for (const RawMsg& m : msgs) {
+        if (m.src != m.dst) pairs[{m.src, m.dst}] += m.bytes;
+    }
+    for (const auto& [pair, bytes] : pairs)
+        load.addMessage(pair.first, pair.second, bytes);
+    return load;
+}
+
+/// Off-rank message pattern of a FillBoundary on one level.
+PhaseLoad fillBoundaryLoad(const LevelMeta& L, int ng, int ncomp, int nranks,
+                           bool aggregate) {
+    std::vector<RawMsg> msgs;
     const auto shifts = L.geom.periodicShifts();
     for (int i = 0; i < L.ba.size(); ++i) {
         for (const Box& g : amr::boxDiff(L.ba[i].grow(ng), L.ba[i])) {
             for (const IntVect& s : shifts) {
                 for (const auto& [j, isect] : L.ba.intersections(g.shift(s))) {
                     if (i == j && s == IntVect::zero()) continue;
-                    load.addMessage(L.dm[j], L.dm[i],
+                    msgs.push_back({L.dm[j], L.dm[i],
                                     isect.numPts() * ncomp *
-                                        static_cast<std::int64_t>(sizeof(double)));
+                                        static_cast<std::int64_t>(sizeof(double))});
                 }
             }
         }
     }
-    return load;
+    return foldMessages(msgs, nranks, aggregate);
 }
 
 /// Off-rank message pattern of a ParallelCopy gathering `src` data under
 /// dst boxes grown by dstGrow.
 PhaseLoad copyLoad(const BoxArray& dstBA, const DistributionMapping& dstDM,
                    int dstGrow, const BoxArray& srcBA,
-                   const DistributionMapping& srcDM, int ncomp, int nranks) {
-    PhaseLoad load(nranks);
+                   const DistributionMapping& srcDM, int ncomp, int nranks,
+                   bool aggregate) {
+    std::vector<RawMsg> msgs;
     for (int i = 0; i < dstBA.size(); ++i) {
         for (const auto& [j, isect] : srcBA.intersections(dstBA[i].grow(dstGrow))) {
-            load.addMessage(srcDM[j], dstDM[i],
+            msgs.push_back({srcDM[j], dstDM[i],
                             isect.numPts() * ncomp *
-                                static_cast<std::int64_t>(sizeof(double)));
+                                static_cast<std::int64_t>(sizeof(double))});
         }
     }
-    return load;
+    return foldMessages(msgs, nranks, aggregate);
 }
 
 } // namespace
@@ -189,6 +220,18 @@ RegionTimes ScalingSimulator::iterationTime(const ScalingCase& c) const {
     constexpr int nStages = 3;
 
     RegionTimes rt;
+    // Charge one p2p phase (times nStages-like multiplicity) against a
+    // region and record its busiest-rank message/byte counts plus the α-β
+    // split of the modeled time.
+    const auto chargePhase = [&](const PhaseLoad& load, double mult,
+                                 RegionTimes::CommDecomp& d) {
+        const int rpn = m.ranksPerNode(gpuRun);
+        d.messages += static_cast<std::int64_t>(mult) * load.maxMessages();
+        d.bytes += static_cast<std::int64_t>(mult) * load.maxBytes();
+        d.alpha += mult * net.alphaTime(load.maxMessages(), gpuRun);
+        d.beta += mult * net.betaTime(load.maxBytes(), c.nodes, gpuRun, rpn);
+        return mult * load.time(net, c.nodes, gpuRun, rpn);
+    };
     for (int lev = 0; lev <= h.finestLevel(); ++lev) {
         const LevelMeta& L = h.levels[static_cast<std::size_t>(lev)];
         const auto pts = L.dm.pointsPerRank(L.ba);
@@ -285,19 +328,22 @@ RegionTimes ScalingSimulator::iterationTime(const ScalingCase& c) const {
             rt.interpCompute += nStages * tInterp;
         }
 
-        const PhaseLoad fbLoad =
-            fillBoundaryLoad(L, core::NGHOST, core::NCONS, ranks);
-        rt.fillBoundary +=
-            nStages * fbLoad.time(net, c.nodes, gpuRun, m.ranksPerNode(gpuRun));
+        const PhaseLoad fbLoad = fillBoundaryLoad(
+            L, core::NGHOST, core::NCONS, ranks, params_.aggregateComm);
+        rt.fillBoundary += chargePhase(fbLoad, nStages, rt.fbDecomp);
         if (gpuRun) {
             // Posting the exchange asynchronously is not free: the busiest
             // rank dispatches one copy-engine descriptor per message and
             // streams the pack/unpack staging through device memory. This
             // cost cannot hide behind the interior pass (it happens before
             // the interior kernels launch), so it is charged separately.
+            // The aggregated path dispatches far fewer descriptors (one per
+            // rank pair) but pays two extra DRAM passes to pack the slots
+            // into the staging buffer and unpack them on receive.
+            const double packFactor = params_.aggregateComm ? 4.0 : 2.0;
             rt.commPosted +=
                 nStages * (fbLoad.maxMessages() * m.v100.copyEngineDispatch +
-                           2.0 * static_cast<double>(fbLoad.maxBytes()) /
+                           packFactor * static_cast<double>(fbLoad.maxBytes()) /
                                m.v100.bwDram);
         }
 
@@ -305,21 +351,24 @@ RegionTimes ScalingSimulator::iterationTime(const ScalingCase& c) const {
             const LevelMeta& P = h.levels[static_cast<std::size_t>(lev - 1)];
             const int ngc = core::NGHOST / 2 + 1;
             const BoxArray cba = L.ba.coarsen(h.refRatio);
-            const double tState =
-                copyLoad(cba, L.dm, ngc, P.ba, P.dm, core::NCONS, ranks)
-                    .time(net, c.nodes, gpuRun, m.ranksPerNode(gpuRun)) +
-                net.parallelCopyMetaTime(ranks, gpuRun);
-            rt.parallelCopy += nStages * tState;
+            const PhaseLoad pcLoad = copyLoad(cba, L.dm, ngc, P.ba, P.dm,
+                                              core::NCONS, ranks,
+                                              params_.aggregateComm);
+            rt.parallelCopy +=
+                chargePhase(pcLoad, nStages, rt.pcDecomp) +
+                nStages * net.parallelCopyMetaTime(ranks, gpuRun);
             if (curvilinearInterp) {
-                const double tCoords =
-                    copyLoad(cba, L.dm, ngc, P.ba, P.dm, 3, ranks)
-                        .time(net, c.nodes, gpuRun, m.ranksPerNode(gpuRun)) +
-                    net.parallelCopyMetaTime(ranks, gpuRun);
-                rt.parallelCopyInterp += nStages * tCoords;
+                const PhaseLoad coordLoad = copyLoad(cba, L.dm, ngc, P.ba,
+                                                     P.dm, 3, ranks,
+                                                     params_.aggregateComm);
+                rt.parallelCopyInterp +=
+                    chargePhase(coordLoad, nStages, rt.pcInterpDecomp) +
+                    nStages * net.parallelCopyMetaTime(ranks, gpuRun);
             }
             // AverageDown, once per iteration (RK stage 3 only).
             rt.averageDown +=
-                copyLoad(P.ba, P.dm, 0, cba, L.dm, core::NCONS, ranks)
+                copyLoad(P.ba, P.dm, 0, cba, L.dm, core::NCONS, ranks,
+                         params_.aggregateComm)
                     .time(net, c.nodes, gpuRun, m.ranksPerNode(gpuRun)) +
                 kernelTime(core::updateKernelProfile());
         }

@@ -41,6 +41,40 @@ std::vector<std::int64_t> CommLog::bytesPerRank(int nranks) const {
     return per;
 }
 
+namespace {
+bool endsWith(const std::string& s, const char* suffix) {
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+} // namespace
+
+CommLog::Summary CommLog::summarize(std::size_t fromIndex) const {
+    Summary s;
+    for (std::size_t i = fromIndex; i < messages_.size(); ++i) {
+        const Message& m = messages_[i];
+        ++s.messages;
+        s.bytes += m.bytes;
+        switch (m.kind) {
+        case MessageKind::PointToPoint: ++s.p2p; break;
+        case MessageKind::ParallelCopy: ++s.parallelCopy; break;
+        case MessageKind::Reduction: ++s.reductions; break;
+        }
+        if (m.tag.find("/rtx") != std::string::npos) ++s.retransmits;
+        if (endsWith(m.tag, "/nack")) ++s.nacks;
+        if (endsWith(m.tag, "/dup")) ++s.duplicates;
+    }
+    return s;
+}
+
+std::string CommLog::formatSummary(const Summary& s) {
+    std::ostringstream os;
+    os << "comm: msgs=" << s.messages << " bytes=" << s.bytes
+       << " p2p=" << s.p2p << " pc=" << s.parallelCopy
+       << " red=" << s.reductions << " rtx=" << s.retransmits
+       << " nack=" << s.nacks << " dup=" << s.duplicates;
+    return os.str();
+}
+
 SimComm::SimComm(int nranks)
     : nranks_(nranks), alive_(static_cast<std::size_t>(nranks), true) {
     assert(nranks >= 1);

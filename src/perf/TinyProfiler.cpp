@@ -39,6 +39,14 @@ void TinyProfiler::addBytes(const std::string& name, double bytes) {
     e.modeledBytes += bytes;
 }
 
+void TinyProfiler::addMessages(const std::string& name, std::int64_t msgs,
+                               double bytes) {
+    Entry& e = entries_[name];
+    e.name = name;
+    e.msgs += msgs;
+    e.msgBytes += bytes;
+}
+
 double TinyProfiler::seconds(const std::string& name) const {
     auto it = entries_.find(name);
     return it == entries_.end() ? 0.0 : it->second.seconds;
@@ -59,6 +67,16 @@ double TinyProfiler::modeledBytes(const std::string& name) const {
     return it == entries_.end() ? 0.0 : it->second.modeledBytes;
 }
 
+std::int64_t TinyProfiler::messages(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.msgs;
+}
+
+double TinyProfiler::messageBytes(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.msgBytes;
+}
+
 std::vector<TinyProfiler::Entry> TinyProfiler::report() const {
     std::vector<Entry> out;
     out.reserve(entries_.size());
@@ -72,13 +90,16 @@ std::string TinyProfiler::table() const {
     std::ostringstream os;
     os << std::left << std::setw(36) << "Region" << std::right << std::setw(12)
        << "Calls" << std::setw(16) << "Time (s)" << std::setw(12) << "Launches"
-       << std::setw(14) << "Model MB" << '\n';
-    os << std::string(90, '-') << '\n';
+       << std::setw(14) << "Model MB" << std::setw(10) << "Msgs"
+       << std::setw(12) << "Msg MB" << '\n';
+    os << std::string(112, '-') << '\n';
     for (const Entry& e : report()) {
         os << std::left << std::setw(36) << e.name << std::right << std::setw(12)
            << e.calls << std::setw(16) << std::fixed << std::setprecision(6)
            << e.seconds << std::setw(12) << e.launches << std::setw(14)
-           << std::setprecision(2) << e.modeledBytes / 1e6 << '\n';
+           << std::setprecision(2) << e.modeledBytes / 1e6 << std::setw(10)
+           << e.msgs << std::setw(12) << std::setprecision(2)
+           << e.msgBytes / 1e6 << '\n';
     }
     return os.str();
 }

@@ -20,6 +20,10 @@ namespace crocco::perf {
 ///    Scope as the gpu::LaunchStats delta across the region;
 ///  * modeledBytes — modeled DRAM traffic, charged explicitly by the solver
 ///    via addBytes() from the KernelProfiles byte counts.
+///
+/// The exchange layer additionally charges per-region message traffic
+/// (Msgs / MsgBytes columns) via addMessages(), so the rank-pair
+/// aggregation's message-count reduction is visible per exchange tag.
 class TinyProfiler {
 public:
     struct Entry {
@@ -28,6 +32,8 @@ public:
         std::int64_t calls = 0;
         std::int64_t launches = 0;
         double modeledBytes = 0.0;
+        std::int64_t msgs = 0;   ///< inter-rank messages sent in the region
+        double msgBytes = 0.0;   ///< payload bytes of those messages
     };
 
     /// RAII timer for one region. Also snapshots the global launch counter
@@ -49,11 +55,14 @@ public:
     void addTime(const std::string& name, double seconds, std::int64_t calls = 1);
     void addLaunches(const std::string& name, std::int64_t launches);
     void addBytes(const std::string& name, double bytes);
+    void addMessages(const std::string& name, std::int64_t msgs, double bytes);
 
     double seconds(const std::string& name) const;
     std::int64_t calls(const std::string& name) const;
     std::int64_t launches(const std::string& name) const;
     double modeledBytes(const std::string& name) const;
+    std::int64_t messages(const std::string& name) const;
+    double messageBytes(const std::string& name) const;
     bool has(const std::string& name) const { return entries_.count(name) > 0; }
 
     /// All regions sorted by descending time.

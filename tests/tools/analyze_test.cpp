@@ -268,6 +268,22 @@ TEST(Flow, A4Layering) {
 }
 
 // ------------------------------------------------------------------
+// A5 — per-pair exchange loops (the aggregation-planner contract)
+// ------------------------------------------------------------------
+
+TEST(Flow, A5PerPairPostLoops) {
+    const auto a5 = findingsFor("A5");
+    EXPECT_EQ(a5.size(), 2u); // isend in a for body + irecv in a while body
+    EXPECT_EQ(countIn(a5, "src/core/A5Pos.cpp"), 2);
+    // Posts outside any loop are R6's business, not A5's.
+    EXPECT_EQ(countIn(a5, "src/core/R6Pos.cpp"), 0);
+    // The allow-file(R6) header in A5Pos waives R6 there but not A5.
+    EXPECT_EQ(countIn(findingsFor("R6", /*suppressed=*/true),
+                      "src/core/A5Pos.cpp"),
+              2);
+}
+
+// ------------------------------------------------------------------
 // Suppressions
 // ------------------------------------------------------------------
 
@@ -299,9 +315,10 @@ TEST(Report, ExactTotals) {
     for (const Finding& f : fixtureFindings())
         (f.suppressed ? suppressed : unsuppressed)++;
     // Sum of the per-rule expectations above: R1=1 R2=3 R3=2 R4=1 R5=1
-    // R6=2 R7=2 A1=4 A2=3 A3=2 A4=2.
-    EXPECT_EQ(unsuppressed, 23);
-    EXPECT_EQ(suppressed, 2);
+    // R6=2 R7=2 A1=4 A2=3 A3=2 A4=2 A5=2; suppressed = 2 R1 (Suppressed.cpp)
+    // + 2 R6 (A5Pos.cpp allow-file).
+    EXPECT_EQ(unsuppressed, 25);
+    EXPECT_EQ(suppressed, 4);
 }
 
 TEST(Report, SarifIsWellFormed) {

@@ -1,0 +1,17 @@
+// Fixture: A5 positive — per-pair nonblocking post loops. The allow-file
+// below waives only R6 (the reviewed-raw-post rule); A5 must still flag
+// the loops, because a waived post site can still be the one-message-per-
+// box pattern the aggregation planner exists to remove.
+// crocco-analyze:allow-file(R6): fixture models a reviewed raw-post site
+struct Comm;
+
+void exchangeAll(Comm* comm, double* buf, int npairs) {
+    for (int p = 0; p < npairs; ++p) {
+        comm->isend(buf, 8, p);
+    }
+    int q = 0;
+    while (q < npairs) {
+        comm->irecv(buf, 8, q);
+        ++q;
+    }
+}

@@ -92,6 +92,9 @@ const std::vector<RuleInfo>& ruleCatalog() {
          "docs/correctness.md#a3"},
         {"A4", "module layering DAG + guarded check/ includes",
          "docs/correctness.md#a4"},
+        {"A5", "no raw per-pair isend/irecv loops outside the aggregation "
+               "planner",
+         "docs/correctness.md#a5"},
     };
     return catalog;
 }
@@ -113,6 +116,7 @@ std::vector<Finding> runChecks(const Project& project,
     if (want("A2")) checkA2(project, findings);
     if (want("A3")) checkA3(project, findings);
     if (want("A4")) checkA4(project, findings);
+    if (want("A5")) checkA5(project, findings);
 
     // Resolve inline suppressions (only meaningful for findings located in
     // a scanned C++ source; doc-located findings pass through).

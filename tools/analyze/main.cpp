@@ -1,8 +1,9 @@
 // crocco-analyze — the project's own static analyzer. Token-aware
-// re-implementation of the seven grep lint rules (R1–R7) plus four
+// re-implementation of the seven grep lint rules (R1–R7) plus five
 // whole-program passes (A1 kernel dataflow, A2 exchange protocol, A3
-// deck-key registry, A4 module layering). See docs/correctness.md for the
-// rule catalogue and the inline suppression syntax.
+// deck-key registry, A4 module layering, A5 per-pair exchange loops). See
+// docs/correctness.md for the rule catalogue and the inline suppression
+// syntax.
 //
 // Exit status: 0 = clean (suppressed findings do not count), 1 = unsuppressed
 // findings or malformed suppressions, 2 = usage/IO error.

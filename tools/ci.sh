@@ -32,11 +32,12 @@ echo "== fault-injection soak (ctest -L resilience) =="
 # plus the mid-run rank-death soak with regrids (comm_recovery_test).
 (cd build-ci && ctest -L resilience --output-on-failure)
 
-echo "== perf benches (BENCH_PR2 + BENCH_PR4 + BENCH_PR6 + BENCH_PR7) =="
+echo "== perf benches (BENCH_PR2 + BENCH_PR4 + BENCH_PR6 + BENCH_PR7 + BENCH_PR9) =="
 bench/run_bench.sh build-ci BENCH_PR2.json
 bench/run_bench_pr4.sh build-ci BENCH_PR4.json
 bench/run_bench_pr6.sh build-ci BENCH_PR6.json
 bench/run_bench_pr7.sh build-ci BENCH_PR7.json
+bench/run_bench_pr9.sh build-ci BENCH_PR9.json
 
 echo "== CroccoCheck (Release + CROCCO_CHECK) =="
 cmake -B build-ci-check -S . -DCMAKE_BUILD_TYPE=Release -DCROCCO_CHECK=ON \
