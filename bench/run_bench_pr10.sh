@@ -1,0 +1,34 @@
+#!/bin/sh
+# Runs the PR10 SDC bench and composes its JSON into BENCH_PR10.json: the
+# measured per-mechanism detection overhead (CRC/digest verify at two
+# cadences, sampled dual execution) on an executed DMR run, the seeded
+# cold-flip injection sweep with detected/undetected/false-positive counts
+# across flip rates and verify intervals, and the FailureModel economics at
+# the paper's 4096-node configuration (detection overhead vs silent-error
+# recompute waste across cadences, modeled waste per upset at each rung of
+# the recovery ladder). The bench binary itself enforces the PR10 gates
+# (zero undetected flips in guarded state at interval 1, zero false
+# positives, < 5% modeled overhead at the default cadence, monotone ladder
+# waste) and exits nonzero on a miss.
+#
+# Usage: bench/run_bench_pr10.sh [build-dir] [output.json]
+set -e
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_PR10.json}
+
+if [ ! -x "$BUILD/bench/sdc" ]; then
+    echo "error: $BUILD/bench/sdc not built (cmake --build $BUILD --target sdc)" >&2
+    exit 1
+fi
+
+SDC=$("$BUILD/bench/sdc")
+
+{
+    echo '{'
+    echo '  "bench": "PR10: silent-data-corruption resilience (FabGuard CRC/digest/dual-execution detection, SdcInjector campaigns, recovery-ladder economics; resilience.sdc_*)",'
+    echo "  \"sdc\": $SDC"
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

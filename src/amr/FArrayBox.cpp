@@ -10,8 +10,12 @@
 namespace crocco::amr {
 
 FArrayBox::FArrayBox(const Box& b, int ncomp, Real initial)
-    : box_(b), ncomp_(ncomp), data_(static_cast<std::size_t>(b.numPts()) * ncomp, initial) {
+    : box_(b), ncomp_(ncomp),
+      data_(static_cast<std::size_t>(b.numPts()) * ncomp + 1, initial) {
     assert(b.ok() && ncomp >= 1);
+    // The extra trailing element is the allocation-header canary: overruns
+    // past the box land on it instead of the next allocation.
+    gpu::Arena::stampCanary(&data_.back());
 #ifdef CROCCO_CHECK
     // A bare fab's storage is value-initialized above, so the whole
     // allocation is genuinely Valid until markUninitialized() says otherwise.
@@ -23,16 +27,22 @@ void FArrayBox::resize(const Box& b, int ncomp) {
     assert(b.ok() && ncomp >= 1);
     box_ = b;
     ncomp_ = ncomp;
-    data_.resize(static_cast<std::size_t>(b.numPts()) * ncomp);
+    data_.resize(static_cast<std::size_t>(b.numPts()) * ncomp + 1);
+    gpu::Arena::stampCanary(&data_.back());
 #ifdef CROCCO_CHECK
     shadow_.define(box_, box_, ncomp_, check::FabShadow::Valid);
 #endif
 }
 
+bool FArrayBox::canaryIntact() const {
+    return data_.empty() || gpu::Arena::canaryIntact(&data_.back());
+}
+
 void FArrayBox::markUninitialized(const Box& validBox) {
 #ifdef CROCCO_CHECK
     shadow_.define(box_, validBox, ncomp_, check::FabShadow::Uninit);
-    gpu::Arena::poisonFresh(data_.data(), data_.size());
+    // Poison the payload only — the trailing canary keeps its guard word.
+    gpu::Arena::poisonFresh(data_.data(), data_.size() - 1);
 #else
     (void)validBox;
 #endif
@@ -67,7 +77,10 @@ Real FArrayBox::operator()(const IntVect& p, int n) const {
 #endif
 
 void FArrayBox::setVal(Real v) {
-    for (Real& x : data_) x = v;
+    if (data_.empty()) return;
+    // Payload only: the trailing element is the allocation canary.
+    const std::size_t n = data_.size() - 1;
+    for (std::size_t i = 0; i < n; ++i) data_[i] = v;
 #ifdef CROCCO_CHECK
     shadow_.markAll(check::FabShadow::Valid);
 #endif

@@ -29,7 +29,17 @@ public:
 
     const Box& box() const { return box_; }
     int nComp() const { return ncomp_; }
-    std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+    /// Payload element count (box cells x components). The storage itself
+    /// holds one extra trailing element: the gpu::Arena allocation canary.
+    std::int64_t size() const {
+        return static_cast<std::int64_t>(box_.numPts()) * ncomp_;
+    }
+
+    /// True while the trailing allocation canary still holds the Arena
+    /// guard pattern — a tripped canary means an out-of-box overrun (or an
+    /// SDC hit on the allocator header region). Checked by ScratchPool on
+    /// every lease return and by FabGuard verifies.
+    bool canaryIntact() const;
 
 #ifdef CROCCO_CHECK
     Array4<Real> array() { return {data_.data(), box_, ncomp_, &shadow_}; }

@@ -592,6 +592,14 @@ void CroccoAmr::rk3Advance() {
                     computeRhs(lev, Sborder, dU);
                 }
             }
+            // SDC hooks between RHS production and consumption: an armed
+            // kernel flip lands in dU here, and the sampled dual execution
+            // re-derives one fab's RHS to catch exactly such corruption
+            // before the update bakes it into U.
+            if (sdcInjector_) sdcInjector_->corruptStage(step_, stage, lev, dU);
+            if (cfg_.sdc.guard && cfg_.sdc.sample > 0 &&
+                step_ % cfg_.sdc.sample == 0)
+                dualExecuteCheck(lev, stage, Sborder, dU);
             {
                 perf::TinyProfiler::Scope scope(prof_, "Update");
                 const auto& up = cfg_.fused ? fusedUpdateKernelProfile()
@@ -617,6 +625,40 @@ void CroccoAmr::rk3Advance() {
     }
 }
 
+void CroccoAmr::dualExecuteCheck(int lev, int stage, const MultiFab& Sborder,
+                                 const MultiFab& dU) {
+    const int nf = dU.numFabs();
+    if (nf == 0) return;
+    const int f = resilience::FabGuard::sampledFab(step_, stage, lev, nf);
+    perf::TinyProfiler::Scope scope(prof_, "SdcDualExec");
+    // Re-derive the sampled fab's RHS with the plain serial kernels — a
+    // structurally independent path from the fused/overlapped pipelines,
+    // pinned bitwise-identical to them by the core tests, so any
+    // discrepancy here is corruption, not roundoff.
+    auto lease = gpu::ScratchPool::instance().acquire(dU.validBox(f), NCONS);
+    amr::FArrayBox& ref = lease.fab();
+    ref.setVal(0.0);
+    const auto dxi = geom(lev).cellSizeArray();
+    for (int dir = 0; dir < 3; ++dir)
+        wenoFlux(dir, Sborder.const_array(f), metrics_[lev].const_array(f),
+                 dU.validBox(f), ref.array(), dxi[static_cast<std::size_t>(dir)],
+                 cfg_.gas, cfg_.scheme, cfg_.variant, cfg_.recon);
+    if (cfg_.gas.viscous() || cfg_.sgs.active())
+        viscousFlux(Sborder.const_array(f), metrics_[lev].const_array(f),
+                    dU.validBox(f), ref.array(), dxi, cfg_.gas, cfg_.variant,
+                    cfg_.sgs);
+    ++sdcGuard_.stats().dualChecks;
+    if (!resilience::FabGuard::bitwiseEqual(ref, dU.fab(f), dU.validBox(f),
+                                            NCONS)) {
+        ++sdcGuard_.stats().dualMismatches;
+        throw resilience::SdcFault(
+            step_, resilience::FaultClass::KernelSdc,
+            "dual-execution mismatch: stage " + std::to_string(stage) +
+                " RHS of level " + std::to_string(lev) + " fab " +
+                std::to_string(f) + " differs from its recomputation");
+    }
+}
+
 void CroccoAmr::emitCommSummary() {
     if (!cfg_.commLogSummary) return;
     const auto* c = comm();
@@ -631,6 +673,13 @@ void CroccoAmr::emitCommSummary() {
 
 void CroccoAmr::step() {
     if (cfg_.commLogSummary && comm()) commLogMark_ = comm()->log().count();
+    // SDC window boundary: flips that hit resident state while it sat cold
+    // since the last stamp land now, and the guard verify (on its cadence)
+    // catches and repairs them before anything reads the state.
+    if (sdcInjector_) sdcInjector_->corruptCold(step_, U_, finestLevel());
+    if (cfg_.sdc.guard && cfg_.sdc.interval > 0 &&
+        step_ % cfg_.sdc.interval == 0)
+        sdcVerifyAndRepair("step-start verify");
     // Scheduled rank deaths fire at step boundaries: the node dies between
     // iterations, and the first communication touching it — a regrid
     // exchange, the ComputeDt reduction, or an RK3 waitall — raises
@@ -649,11 +698,26 @@ void CroccoAmr::step() {
     if (faultInjector_) dt_ = faultInjector_->perturbDt(step_, dt_);
 
     if (!cfg_.guard.enabled) {
-        rk3Advance();
+        try {
+            rk3Advance();
+        } catch (const resilience::SdcFault& sf) {
+            // Dual execution caught a corrupted stage RHS, but with the
+            // step guard off there is no in-step snapshot to roll back to:
+            // record the unavailable rung and escalate to evolve()'s
+            // buddy/disk rungs.
+            ladder_.log().record(step_, sf.fault(),
+                                 resilience::Rung::StepRollback, false,
+                                 "guard disabled: no in-step snapshot");
+            throw;
+        }
         if (faultInjector_) faultInjector_->corruptState(step_, U_, finestLevel());
         emitCommSummary();
         time_ += dt_;
         ++step_;
+        if (cfg_.sdc.guard) {
+            perf::TinyProfiler::Scope scope(prof_, "SdcStamp");
+            sdcGuard_.stamp(U_, finestLevel());
+        }
         return;
     }
 
@@ -672,7 +736,25 @@ void CroccoAmr::step() {
     };
 
     for (int attempt = 0;; ++attempt) {
-        rk3Advance();
+        try {
+            rk3Advance();
+        } catch (const resilience::SdcFault& sf) {
+            // Dual execution caught a corrupted stage RHS mid-advance. The
+            // flip was transient (its one-shot arm is spent), so the retry
+            // replays the identical step — and dtBackoffApplies says an SDC
+            // rollback keeps dt, or the repaired trajectory would diverge
+            // bitwise from the fault-free run.
+            restore();
+            const bool retry = attempt < cfg_.guard.maxRetries;
+            ladder_.log().record(step_, sf.fault(),
+                                 resilience::Rung::StepRollback, retry,
+                                 sf.what());
+            if (!retry) throw;
+            ++rollbackCount_;
+            if (resilience::RecoveryLadder::dtBackoffApplies(sf.fault()))
+                dt_ *= cfg_.guard.dtBackoff;
+            continue;
+        }
         if (faultInjector_) faultInjector_->corruptState(step_, U_, finestLevel());
         resilience::HealthReport rep;
         {
@@ -685,17 +767,34 @@ void CroccoAmr::step() {
             break;
         }
         restore();
-        if (attempt >= cfg_.guard.maxRetries)
+        if (attempt >= cfg_.guard.maxRetries) {
+            ladder_.log().record(step_, resilience::FaultClass::HealthFault,
+                                 resilience::Rung::StepRollback, false,
+                                 "retries exhausted");
             throw resilience::SolverDivergence(step_, dt_, std::move(rep));
+        }
+        ladder_.log().record(step_, resilience::FaultClass::HealthFault,
+                             resilience::Rung::StepRollback, true);
         ++rollbackCount_;
-        dt_ *= cfg_.guard.dtBackoff;
+        if (resilience::RecoveryLadder::dtBackoffApplies(
+                resilience::FaultClass::HealthFault))
+            dt_ *= cfg_.guard.dtBackoff;
     }
     emitCommSummary();
     time_ += dt_;
     ++step_;
+    if (cfg_.sdc.guard) {
+        perf::TinyProfiler::Scope scope(prof_, "SdcStamp");
+        sdcGuard_.stamp(U_, finestLevel());
+    }
 }
 
 void CroccoAmr::evolve(int nsteps) {
+    // Baseline stamp before the first step (same as the EvolveOptions
+    // overload): upsets that land before the first end-of-step stamp would
+    // otherwise have nothing to verify against and ride silently.
+    if (cfg_.sdc.guard && !sdcGuard_.stamped())
+        sdcGuard_.stamp(U_, finestLevel());
     for (int n = 0; n < nsteps; ++n) step();
 }
 
@@ -710,17 +809,81 @@ void CroccoAmr::evolve(int nsteps, const EvolveOptions& opts) {
                             [&](const std::string& d) { writeCheckpoint(d); });
     if (buddying && !opts.buddy->valid())
         opts.buddy->store(U_, finestLevel(), step_, time_, comm());
+    // Baseline stamp before the first step: without it, upsets that land
+    // before the first end-of-step stamp have nothing to verify against and
+    // ride silently (the SDC bench's interval-1 zero-undetected gate).
+    if (cfg_.sdc.guard && !sdcGuard_.stamped())
+        sdcGuard_.stamp(U_, finestLevel());
     int recoveries = 0;
+    // Post-restore housekeeping shared by every rung: the restored state is
+    // known-good by construction (CRC-verified checkpoint or mirror), so it
+    // becomes the new guard baseline.
+    auto restamp = [&] {
+        if (cfg_.sdc.guard) sdcGuard_.stamp(U_, finestLevel());
+    };
+    // The ladder's last repair rung. False = nothing to restore from; the
+    // caller surfaces the original fault (Abort).
+    auto diskRestore = [&](resilience::FaultClass fault) {
+        if (!opts.restart) {
+            ladder_.log().record(step_, fault, resilience::Rung::Abort, false,
+                                 "no restart manager attached");
+            return false;
+        }
+        ++diskRecoveryCount_;
+        opts.restart->restoreLatest([&](const std::string& d) {
+            readCheckpoint(d, init_, physBC_);
+        });
+        ladder_.log().record(step_, fault, resilience::Rung::DiskRestart, true);
+        restamp();
+        return true;
+    };
     while (step_ < target) {
         try {
             step();
+            const bool doCkpt =
+                checkpointing && step_ % opts.checkpointEvery == 0;
+            const bool doBuddy = buddying && step_ % opts.buddyEvery == 0;
+            // A checkpoint or mirror written from silently corrupted state
+            // poisons the recovery source itself — verify (and repair) the
+            // guarded state before either write reads it.
+            if (doCkpt || doBuddy) sdcVerifyAndRepair("checkpoint source");
+            if (doCkpt)
+                opts.restart->write(
+                    step_, [&](const std::string& d) { writeCheckpoint(d); });
+            if (doBuddy)
+                opts.buddy->store(U_, finestLevel(), step_, time_, comm());
         } catch (const resilience::SolverDivergence&) {
-            if (!opts.restart || recoveries >= opts.maxRecoveries) throw;
+            const bool canRestore =
+                opts.restart && recoveries < opts.maxRecoveries;
+            ladder_.log().record(step_, resilience::FaultClass::HealthFault,
+                                 resilience::Rung::DiskRestart, canRestore,
+                                 canRestore ? "" : "recovery budget exhausted");
+            if (!canRestore) throw;
             ++recoveries;
             ++recoveryCount_;
             opts.restart->restoreLatest([&](const std::string& d) {
                 readCheckpoint(d, init_, physBC_);
             });
+            restamp();
+            continue;
+        } catch (const resilience::SdcFault& sf) {
+            // The local rungs are spent (fab repair impossible or step
+            // rollback exhausted): climb to the buddy mirror, then disk.
+            if (recoveries >= opts.maxRecoveries) throw;
+            ++recoveries;
+            ++recoveryCount_;
+            if (restoreFromBuddySnapshot(opts)) {
+                ++buddyRecoveryCount_;
+                ladder_.log().record(step_, sf.fault(),
+                                     resilience::Rung::BuddyRestore, true,
+                                     sf.what());
+                restamp();
+            } else {
+                ladder_.log().record(step_, sf.fault(),
+                                     resilience::Rung::BuddyRestore, false,
+                                     "no verified buddy mirror");
+                if (!diskRestore(sf.fault())) throw;
+            }
             continue;
         } catch (const parallel::RankFailure& rf) {
             if (recoveries >= opts.maxRecoveries) throw;
@@ -728,24 +891,22 @@ void CroccoAmr::evolve(int nsteps, const EvolveOptions& opts) {
             ++recoveryCount_;
             if (recoverFromRankDeath(rf.deadRank(), opts)) {
                 ++buddyRecoveryCount_;
+                ladder_.log().record(step_, resilience::FaultClass::RankDeath,
+                                     resilience::Rung::BuddyRestore, true,
+                                     "rank " + std::to_string(rf.deadRank()));
+                restamp();
             } else {
-                // No usable buddy copy (none stored, or the replica died
-                // with the rank): full disk restore. The communicator is
-                // already shrunk; readCheckpoint rebuilds the mappings
-                // over the survivors.
-                if (!opts.restart) throw;
-                ++diskRecoveryCount_;
-                opts.restart->restoreLatest([&](const std::string& d) {
-                    readCheckpoint(d, init_, physBC_);
-                });
+                // No usable buddy copy (none stored, the replica died with
+                // the rank, or the mirror failed its CRC check): full disk
+                // restore. The communicator is already shrunk;
+                // readCheckpoint rebuilds the mappings over the survivors.
+                ladder_.log().record(step_, resilience::FaultClass::RankDeath,
+                                     resilience::Rung::BuddyRestore, false,
+                                     "no usable buddy copy");
+                if (!diskRestore(resilience::FaultClass::RankDeath)) throw;
             }
             continue;
         }
-        if (checkpointing && step_ % opts.checkpointEvery == 0)
-            opts.restart->write(
-                step_, [&](const std::string& d) { writeCheckpoint(d); });
-        if (buddying && step_ % opts.buddyEvery == 0)
-            opts.buddy->store(U_, finestLevel(), step_, time_, comm());
     }
 }
 
@@ -754,11 +915,21 @@ bool CroccoAmr::recoverFromRankDeath(int deadRank, const EvolveOptions& opts) {
     assert(c && !c->rankAlive(deadRank));
     // Decide the restore source *before* the shrink: the buddy partner must
     // have survived, judged under the snapshot's (pre-death) numbering.
-    const bool useBuddy =
+    bool useBuddy =
         opts.buddy && opts.buddy->canRecover(deadRank) &&
         opts.buddy->nranks() == c->size() &&
         c->rankAlive(
             resilience::BuddyCheckpoint::partnerOf(deadRank, c->size()));
+    // The mirror sat in partner memory since its store() — exactly the
+    // long-idle state SDC hits. Verify every mirrored fab's CRC *before*
+    // any byte of it overwrites live state; a corrupted mirror falls
+    // through to the disk rung instead of being trusted.
+    if (useBuddy && !opts.buddy->verifyMirror()) {
+        ladder_.log().record(step_, resilience::FaultClass::CheckpointCorrupt,
+                             resilience::Rung::BuddyRestore, false,
+                             "buddy mirror failed CRC verification");
+        useBuddy = false;
+    }
     // ULFM sequence: revoke + shrink. Survivors are renumbered densely,
     // pending ops are revoked, and every layer tracking the communicator
     // size follows suit.
@@ -805,6 +976,72 @@ bool CroccoAmr::recoverFromRankDeath(int deadRank, const EvolveOptions& opts) {
     // a second death before then falls back to disk.
     opts.buddy->invalidate();
     return true;
+}
+
+bool CroccoAmr::restoreFromBuddySnapshot(const EvolveOptions& opts) {
+    if (!opts.buddy || !opts.buddy->valid()) return false;
+    // Same policy as the rank-death path: no mirror byte overwrites live
+    // state before the whole mirror passes its CRC check.
+    if (!opts.buddy->verifyMirror()) {
+        ladder_.log().record(step_, resilience::FaultClass::CheckpointCorrupt,
+                             resilience::Rung::BuddyRestore, false,
+                             "buddy mirror failed CRC verification");
+        return false;
+    }
+    const resilience::BuddyCheckpoint& snap = *opts.buddy;
+    // The snapshot's DistributionMappings are only meaningful under the
+    // communicator size they were taken with.
+    if (comm() && snap.nranks() != comm()->size()) return false;
+    time_ = static_cast<Real>(snap.time());
+    step_ = snap.step();
+    for (int lev = snap.finestLevel() + 1; lev <= finestLevel(); ++lev)
+        clearLevel(lev);
+    for (int lev = 0; lev <= snap.finestLevel(); ++lev) {
+        const amr::MultiFab& s = snap.level(lev);
+        const BoxArray ba = s.boxArray();
+        const DistributionMapping dm = s.distributionMap();
+        setLevel(lev, ba, dm);
+        setFinestLevel(lev);
+        defineLevelData(lev, ba, dm);
+        for (int f = 0; f < s.numFabs(); ++f)
+            U_[lev].fab(f).copyFrom(s.fab(f), ba[f], 0, 0, NCONS);
+    }
+    // Unlike a rank-death recovery the communicator did not shrink, so the
+    // mirror's numbering is still current — keep it for the next fault.
+    return true;
+}
+
+void CroccoAmr::sdcVerifyAndRepair(const char* context) {
+    if (!cfg_.sdc.guard || !sdcGuard_.stamped()) return;
+    if (!sdcGuard_.layoutMatches(U_, finestLevel())) return;
+    perf::TinyProfiler::Scope scope(prof_, "SdcVerify");
+    // Cheap ABFT screen first (stats only — the CRC scan stays
+    // authoritative, because a low-bit flip on a small addend can vanish
+    // into the conserved sum's rounding).
+    sdcGuard_.digestClean(U_, finestLevel());
+    const auto findings = sdcGuard_.verify(U_, finestLevel());
+    for (const auto& gf : findings) {
+        const std::string where = std::string(context) + ": level " +
+                                  std::to_string(gf.level) + " fab " +
+                                  std::to_string(gf.fab);
+        if (sdcGuard_.restoreFab(U_, gf.level, gf.fab)) {
+            ++fabRestoreCount_;
+            ladder_.log().record(step_, resilience::FaultClass::ColdSdc,
+                                 resilience::Rung::FabRestore, true, where);
+        } else {
+            // The retained restore source is itself corrupt — a double
+            // fault. StepRollback is skipped for cold SDC (the in-step
+            // snapshot would replay the corruption); evolve() climbs to
+            // the buddy mirror and disk rungs.
+            ladder_.log().record(step_, resilience::FaultClass::ColdSdc,
+                                 resilience::Rung::FabRestore, false,
+                                 where + " (retained copy corrupt)");
+            throw resilience::SdcFault(
+                step_, resilience::FaultClass::ColdSdc,
+                "cold SDC at " + where +
+                    " and the retained guard copy is also corrupt");
+        }
+    }
 }
 
 std::array<Real, NCONS> CroccoAmr::conservedTotals() const {

@@ -12,9 +12,12 @@
 #include "mesh/CoordStore.hpp"
 #include "perf/TinyProfiler.hpp"
 #include "resilience/BuddyCheckpoint.hpp"
+#include "resilience/FabGuard.hpp"
 #include "resilience/FaultInjector.hpp"
 #include "resilience/Health.hpp"
+#include "resilience/RecoveryLadder.hpp"
 #include "resilience/RestartManager.hpp"
+#include "resilience/SdcInjector.hpp"
 
 #include <functional>
 #include <memory>
@@ -88,6 +91,13 @@ public:
         bool fused = false;
         /// Health-check + rollback/retry policy applied by step().
         resilience::GuardConfig guard;
+        /// Silent-data-corruption guard (resilience.sdc_* keys): CRC32
+        /// stamps + conserved-sum digests over the cold state, verified on
+        /// a cadence and before checkpoint/mirror reads, plus sampled
+        /// dual execution of the stage kernels. All off by default —
+        /// stamping, verifying and repair are bitwise-transparent no-ops
+        /// until sdc.guard is set.
+        resilience::SdcConfig sdc;
         /// Receive timeout in modeled seconds for the hardened exchange
         /// (`comm.timeout`); 0 keeps the SimComm default. Also names the
         /// wait a hung waitall reports.
@@ -150,6 +160,23 @@ public:
         faultInjector_ = injector;
     }
 
+    /// Attach a (test) SDC injector; non-owning, nullptr detaches. Cold
+    /// flips land at the start of step() before the guard verify; stage
+    /// flips land in each RK3 stage's dU before the update consumes it.
+    void setSdcInjector(resilience::SdcInjector* injector) {
+        sdcInjector_ = injector;
+    }
+
+    /// The unified recovery-ladder policy + structured log. Every recovery
+    /// path — fab repair, step rollback, buddy rebuild, disk restart —
+    /// records the rung it climbed here.
+    resilience::RecoveryLadder& ladder() { return ladder_; }
+    const resilience::RecoveryLog& recoveryLog() const { return ladder_.log(); }
+
+    /// The SDC detection layer (stamps, digests, dual-execution stats).
+    const resilience::FabGuard& sdcGuard() const { return sdcGuard_; }
+    resilience::FabGuard& sdcGuard() { return sdcGuard_; }
+
     /// Health report of the last completed (healthy) step.
     const resilience::HealthReport& lastHealth() const { return lastHealth_; }
     /// The exchange digest of the last completed step, as printed under
@@ -168,6 +195,8 @@ public:
     }
     int buddyRecoveryCount() const { return buddyRecoveryCount_; }
     int diskRecoveryCount() const { return diskRecoveryCount_; }
+    /// Fab-granular in-place repairs served by the guard (ladder rung 0).
+    int fabRestoreCount() const { return fabRestoreCount_; }
 
     Real time() const { return time_; }
     int stepCount() const { return step_; }
@@ -259,6 +288,23 @@ private:
     /// buddy copy exists — the communicator is still shrunk, and the
     /// caller must restore from disk instead.
     bool recoverFromRankDeath(int deadRank, const EvolveOptions& opts);
+    /// Ladder rung: rebuild the whole hierarchy from the buddy mirror
+    /// *without* a rank death (SDC escalation path). The mirror CRC is
+    /// verified before any byte overwrites live state; returns false when
+    /// no verified, same-sized snapshot exists — fall through to disk.
+    bool restoreFromBuddySnapshot(const EvolveOptions& opts);
+    /// Guard verify + rung-0 repair: CRC-scan the stamped state, restore
+    /// corrupted fabs in place from the retained copy, and throw SdcFault
+    /// when a fab's restore source is itself corrupt (evolve() climbs the
+    /// remaining rungs). No-op unless sdc.guard is on and stamps match the
+    /// current layout. `context` labels RecoveryLog entries.
+    void sdcVerifyAndRepair(const char* context);
+    /// Sampled dual execution: re-run the stage RHS of one fab with the
+    /// plain serial kernels and bitwise-compare against `dU`. A mismatch
+    /// means a kernel produced corrupted output — throws SdcFault
+    /// (KernelSdc) so step() rolls the stage back and replays.
+    void dualExecuteCheck(int lev, int stage, const amr::MultiFab& Sborder,
+                          const amr::MultiFab& dU);
     /// comm.log_summary: render + print the digest of the traffic this
     /// step generated (from commLogMark_ to the log end) and advance the
     /// mark. No-op unless the key is on and a communicator is attached.
@@ -282,6 +328,9 @@ private:
     int step_ = 0;
 
     resilience::FaultInjector* faultInjector_ = nullptr;
+    resilience::SdcInjector* sdcInjector_ = nullptr;
+    resilience::FabGuard sdcGuard_;
+    resilience::RecoveryLadder ladder_;
     /// CommLog index where the current step's traffic starts — the
     /// comm.log_summary printout summarizes messages from this mark on.
     std::size_t commLogMark_ = 0;
@@ -291,6 +340,7 @@ private:
     int recoveryCount_ = 0;
     int buddyRecoveryCount_ = 0;
     int diskRecoveryCount_ = 0;
+    int fabRestoreCount_ = 0;
 };
 
 } // namespace crocco::core

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace crocco::gpu {
@@ -33,6 +34,21 @@ void Arena::release(std::int64_t bytes) {
             " B in use (double release or mismatched allocation accounting)");
     }
     inUse_ -= bytes;
+}
+
+double Arena::canaryValue() {
+    double v;
+    static_assert(sizeof v == sizeof kCanaryWord);
+    std::memcpy(&v, &kCanaryWord, sizeof v);
+    return v;
+}
+
+void Arena::stampCanary(double* slot) { *slot = canaryValue(); }
+
+bool Arena::canaryIntact(const double* slot) {
+    std::uint64_t u;
+    std::memcpy(&u, slot, sizeof u);
+    return u == kCanaryWord;
 }
 
 void Arena::poisonFresh(double* p, std::size_t n) {
@@ -77,6 +93,15 @@ ScratchPool::Lease ScratchPool::acquire(const amr::Box& box, int ncomp) {
 }
 
 void ScratchPool::release(std::unique_ptr<amr::FArrayBox> fab) {
+    // A tripped canary means some kernel wrote past the box it leased (or
+    // an upset hit the allocator header region). The buffer is evidence of
+    // corruption, not a recyclable resource: drop it and count the trip.
+    // This runs from Lease's destructor, so it must not throw.
+    if (!fab->canaryIntact()) {
+        std::lock_guard<std::mutex> lock(m_);
+        ++canaryTrips_;
+        return;
+    }
     const Key key{fab->box().numPts(), fab->nComp()};
     std::lock_guard<std::mutex> lock(m_);
     free_[key].push_back(std::move(fab));
@@ -92,9 +117,14 @@ std::uint64_t ScratchPool::misses() const {
     return misses_;
 }
 
+std::uint64_t ScratchPool::canaryTrips() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return canaryTrips_;
+}
+
 void ScratchPool::resetStats() {
     std::lock_guard<std::mutex> lock(m_);
-    hits_ = misses_ = 0;
+    hits_ = misses_ = canaryTrips_ = 0;
 }
 
 void ScratchPool::clear() {

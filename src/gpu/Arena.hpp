@@ -54,6 +54,20 @@ public:
     /// The 16 GB HBM2 arena of a Summit V100.
     static Arena v100() { return Arena(16ll * 1024 * 1024 * 1024); }
 
+    /// Allocation-header canary (docs/resilience.md §6): every FArrayBox
+    /// over-allocates one trailing element stamped with this pattern, so a
+    /// kernel overrun past the allocated box — or an SDC hit on the
+    /// allocator's bookkeeping region — trips a cheap O(1) check instead of
+    /// silently corrupting the neighbouring allocation. ScratchPool checks
+    /// the word on every lease return; FabGuard checks it during verifies.
+    static constexpr std::uint64_t kCanaryWord = 0x5AFEC0DE0DDC0FFEull;
+    /// The canary pattern bit-cast to the element type fabs store.
+    static double canaryValue();
+    /// Stamp the canary into the guard slot.
+    static void stampCanary(double* slot);
+    /// True while the guard slot still holds the exact canary bits.
+    static bool canaryIntact(const double* slot);
+
     /// Under CROCCO_CHECK, stamp a freshly allocated (device-modeled)
     /// buffer with check::poisonValue() signaling NaNs so uninitialized
     /// reads that escape the shadow validity map still blow up the first
@@ -128,6 +142,12 @@ public:
 
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+    /// Leases returned with a tripped allocation canary. The corrupted
+    /// buffer is discarded instead of recycled (its neighbour may already
+    /// be overwritten), and the trip is counted here rather than thrown:
+    /// release runs from Lease's destructor, where an exception would
+    /// terminate. FabGuard's verify surfaces the counter as a finding.
+    std::uint64_t canaryTrips() const;
     void resetStats();
     /// Drop all pooled buffers (tests / memory pressure).
     void clear();
@@ -141,6 +161,7 @@ private:
     std::map<Key, std::vector<std::unique_ptr<amr::FArrayBox>>> free_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t canaryTrips_ = 0;
 };
 
 /// RAII registration of one allocation against an Arena.

@@ -221,6 +221,13 @@ core::CroccoAmr::Config ParmParse::makeConfig(core::CroccoAmr::Config cfg) const
         throw std::runtime_error("resilience.max_retries: must be >= 0");
     if (cfg.guard.dtBackoff <= 0.0 || cfg.guard.dtBackoff >= 1.0)
         throw std::runtime_error("resilience.dt_backoff: must be in (0, 1)");
+    query("resilience.sdc_guard", cfg.sdc.guard);
+    query("resilience.sdc_interval", cfg.sdc.interval);
+    query("resilience.sdc_sample", cfg.sdc.sample);
+    if (cfg.sdc.interval < 1)
+        throw std::runtime_error("resilience.sdc_interval: must be >= 1");
+    if (cfg.sdc.sample < 0)
+        throw std::runtime_error("resilience.sdc_sample: must be >= 0 (0 = off)");
 
     query("comm.timeout", cfg.commTimeout);
     query("comm.verify", cfg.commVerify);

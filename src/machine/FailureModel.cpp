@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace crocco::machine {
 
@@ -56,6 +57,38 @@ double FailureModel::buddyRestoreTime(std::int64_t bytes, int nodes) const {
 
 double FailureModel::wasteFraction(double delta, double mtbf) const {
     return wasteFraction(delta, mtbf, restartPenalty);
+}
+
+double FailureModel::sdcMeanTimeBetween(std::int64_t residentBytes) const {
+    const double gb = static_cast<double>(residentBytes) / 1.0e9;
+    const double ratePerSec = sdcRatePerGBHour * gb / 3600.0;
+    if (ratePerSec <= 0.0) return std::numeric_limits<double>::infinity();
+    return 1.0 / ratePerSec;
+}
+
+double FailureModel::sdcScanTime(std::int64_t residentBytes, int nodes) const {
+    assert(nodes >= 1);
+    const double perNode =
+        static_cast<double>(residentBytes) / static_cast<double>(nodes);
+    return perNode / sdcScanBandwidth;
+}
+
+double FailureModel::sdcDetectionOverhead(std::int64_t residentBytes, int nodes,
+                                          double stepTime, int interval) const {
+    assert(interval >= 1);
+    const double scan = sdcScanTime(residentBytes, nodes);
+    const double window = static_cast<double>(interval) * stepTime;
+    if (scan + window <= 0.0) return 0.0;
+    return scan / (scan + window);
+}
+
+double FailureModel::sdcWasteFraction(std::int64_t residentBytes,
+                                      double detectionLatencySec,
+                                      double restoreCost) const {
+    const double mtbe = sdcMeanTimeBetween(residentBytes);
+    if (!std::isfinite(mtbe)) return 0.0;
+    const double f = (0.5 * detectionLatencySec + restoreCost) / mtbe;
+    return std::clamp(f, 0.0, 0.99);
 }
 
 double FailureModel::wasteFraction(double delta, double mtbf,

@@ -30,6 +30,13 @@ struct FailureModel {
     /// waitall and agreeing on the shrink (ULFM detection + consensus),
     /// seconds. Calibrated against SimComm::setTimeout.
     double detectionLatency = 5.0;
+    /// Silent-data-corruption rate: upsets per GB of resident state per
+    /// hour that flip bits without any machine-check (the ECC-escape rate,
+    /// field-study order of magnitude for HBM2/GDDR at scale).
+    double sdcRatePerGBHour = 1e-5;
+    /// Per-node rate at which the FabGuard scan (CRC32 + conserved-sum
+    /// digest, both memory-bound single-pass sweeps) reads state, B/s.
+    double sdcScanBandwidth = 100.0e9;
 
     /// System MTBF in seconds: node failures are independent, so the
     /// machine-level rate scales with node count.
@@ -69,6 +76,29 @@ struct FailureModel {
     /// disk-vs-buddy recovery comparison (the two schemes differ in both
     /// delta and the restore term).
     double wasteFraction(double delta, double mtbf, double restoreCost) const;
+
+    /// Mean seconds between silent upsets anywhere in `residentBytes` of
+    /// machine-resident state (rate scales with footprint and exposure).
+    /// Infinity when the rate or the footprint is zero.
+    double sdcMeanTimeBetween(std::int64_t residentBytes) const;
+
+    /// One FabGuard sweep over the per-node share of `residentBytes`
+    /// (every rank scans its own fabs concurrently).
+    double sdcScanTime(std::int64_t residentBytes, int nodes) const;
+
+    /// Fraction of wall-clock time the guard costs when a sweep runs every
+    /// `interval` steps of `stepTime` seconds each.
+    double sdcDetectionOverhead(std::int64_t residentBytes, int nodes,
+                                double stepTime, int interval) const;
+
+    /// Expected waste from silent upsets at a given detection latency:
+    /// each upset loses on average half the latency of work plus
+    /// `restoreCost` to repair. With the guard on, the latency is the
+    /// verify interval and the repair is a fab restore; without it, the
+    /// upset rides to the next checkpoint validation and costs a disk
+    /// restore + replay. Clamped to [0, 0.99].
+    double sdcWasteFraction(std::int64_t residentBytes, double detectionLatencySec,
+                            double restoreCost) const;
 };
 
 } // namespace crocco::machine

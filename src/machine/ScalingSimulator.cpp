@@ -475,4 +475,38 @@ RecoveryComparison ScalingSimulator::recoveryComparison(
     return rc;
 }
 
+SdcComparison ScalingSimulator::sdcComparison(const ScalingCase& c,
+                                              int interval) const {
+    assert(interval >= 1);
+    const FailureModel& fm = params_.failure;
+    SdcComparison sc;
+    // The guarded footprint is the conserved state — the same bytes a
+    // checkpoint serializes (coordinates/metrics are regenerated, and
+    // scratch is refilled before every read, so upsets there are harmless).
+    sc.residentBytes = buildHierarchy(c).activePoints() * core::NCONS *
+                       static_cast<std::int64_t>(sizeof(double));
+    sc.upsetMtbf = fm.sdcMeanTimeBetween(sc.residentBytes);
+    sc.scanTime = fm.sdcScanTime(sc.residentBytes, c.nodes);
+    const double stepTime = iterationTime(c).totalSerial();
+    sc.detectionOverheadFraction =
+        fm.sdcDetectionOverhead(sc.residentBytes, c.nodes, stepTime, interval);
+    // Guarded: an upset is caught at most `interval` steps after it lands
+    // and repaired fab-granularly (one in-memory copy, priced as one scan).
+    sc.guardedWasteFraction = std::clamp(
+        sc.detectionOverheadFraction +
+            fm.sdcWasteFraction(sc.residentBytes,
+                                static_cast<double>(interval) * stepTime,
+                                sc.scanTime),
+        0.0, 0.99);
+    // Unguarded: the upset silently poisons the trajectory until the next
+    // checkpoint validation — on average half a Daly cycle of work is wrong
+    // and must be replayed from a disk restore.
+    const ResilienceStats rs = resilienceStats(c);
+    const double cycle = rs.optimalInterval + rs.writeTime;
+    sc.unguardedWasteFraction = fm.sdcWasteFraction(
+        sc.residentBytes, cycle,
+        fm.diskRestoreTime(rs.checkpointBytes, c.nodes) + 0.5 * cycle);
+    return sc;
+}
+
 } // namespace crocco::machine

@@ -132,6 +132,20 @@ struct RecoveryComparison {
                                            ///< surcharge / iteration time
 };
 
+/// Silent-data-corruption economics of one scaling case: the cost of the
+/// FabGuard sweep every `interval` steps vs the recompute waste of letting
+/// upsets ride undetected to the next checkpoint validation
+/// (docs/resilience.md §6). This is the detection-overhead-vs-silent-waste
+/// trade the resilience.sdc_interval deck key tunes.
+struct SdcComparison {
+    std::int64_t residentBytes = 0; ///< guarded state across the machine
+    double upsetMtbf = 0;           ///< mean seconds between silent upsets
+    double scanTime = 0;            ///< one CRC+digest sweep, seconds
+    double detectionOverheadFraction = 0; ///< guard scan cost / wall time
+    double guardedWasteFraction = 0;   ///< scan overhead + fab-repair rework
+    double unguardedWasteFraction = 0; ///< silent upsets, disk-restore rework
+};
+
 /// One point of the paper's scaling studies (Table I rows, Fig. 5 axes).
 struct ScalingCase {
     core::CodeVersion version = core::CodeVersion::V20;
@@ -217,6 +231,11 @@ public:
     /// GPU memory demand per V100 for one case (bytes); compared against
     /// the 16 GB arena to reproduce the paper's problem-size ceiling.
     std::int64_t gpuBytesPerRank(const ScalingCase& c) const;
+
+    /// Price the SDC guard at one verify cadence against running unguarded:
+    /// scan overhead + fab-granular repair vs silent upsets discovered half
+    /// a checkpoint cycle late and repaired by a disk restore + replay.
+    SdcComparison sdcComparison(const ScalingCase& c, int interval) const;
 
     static bool isGpuVersion(core::CodeVersion v) {
         return v == core::CodeVersion::V20 || v == core::CodeVersion::V21;

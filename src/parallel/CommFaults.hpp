@@ -1,5 +1,7 @@
 #pragma once
 
+#include "resilience/FaultRng.hpp"
+
 #include <cstdint>
 #include <optional>
 #include <random>
@@ -70,6 +72,13 @@ public:
     };
 
     explicit CommFaults(std::uint64_t seed = 0xFA17C033ull);
+    /// Substream constructor: draws this injector's seed from the unified
+    /// fault RNG (resilience/FaultRng), keeping its decision stream
+    /// independent of the cell-fault and SDC injectors sharing the master
+    /// seed. The legacy direct-seed constructor above is untouched, so the
+    /// PR 6 soak digests pin byte-identical fault schedules.
+    explicit CommFaults(const resilience::FaultRng& rng)
+        : CommFaults(rng.seedFor(resilience::FaultRng::kCommStream)) {}
 
     void setRates(const Rates& r);
     const Rates& rates() const { return rates_; }

@@ -1,7 +1,10 @@
 #include "resilience/BuddyCheckpoint.hpp"
 
+#include "resilience/FabGuard.hpp"
+
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace crocco::resilience {
 
@@ -12,11 +15,19 @@ void BuddyCheckpoint::store(const std::vector<amr::MultiFab>& levels,
            finestLevel < static_cast<int>(levels.size()));
     levels_.clear();
     levels_.reserve(static_cast<std::size_t>(finestLevel) + 1);
+    crcs_.assign(static_cast<std::size_t>(finestLevel) + 1, {});
     mirroredBytes_ = 0;
     const int nranks = comm ? comm->size() : 1;
     for (int lev = 0; lev <= finestLevel; ++lev) {
         const amr::MultiFab& src = levels[static_cast<std::size_t>(lev)];
         levels_.push_back(src); // deep copy (throws if an exchange is in flight)
+        // Stamp the mirror as stored: restores verify against these before
+        // trusting a byte of it (FabGuard custody rule, analyze A6).
+        auto& crcs = crcs_[static_cast<std::size_t>(lev)];
+        crcs.resize(static_cast<std::size_t>(src.numFabs()));
+        for (int f = 0; f < src.numFabs(); ++f)
+            crcs[static_cast<std::size_t>(f)] =
+                crcOfFabValidRegion(levels_.back(), f);
         if (!comm) continue;
         // Each rank streams its valid cells to its partner; ghost layers
         // are not mirrored (a restore refills them, like readCheckpoint).
@@ -47,8 +58,32 @@ bool BuddyCheckpoint::canRecover(int deadRank) const {
                      deadRank) == droppedReplicas_.end();
 }
 
+bool BuddyCheckpoint::verifyMirror() const {
+    if (!valid_) return false;
+    for (int lev = 0; lev <= finest_; ++lev) {
+        const amr::MultiFab& mf = levels_[static_cast<std::size_t>(lev)];
+        const auto& crcs = crcs_[static_cast<std::size_t>(lev)];
+        for (int f = 0; f < mf.numFabs(); ++f)
+            if (crcOfFabValidRegion(mf, f) != crcs[static_cast<std::size_t>(f)])
+                return false;
+    }
+    return true;
+}
+
+void BuddyCheckpoint::corruptMirror(int lev, int fab) {
+    if (!valid_ || lev < 0 || lev > finest_) return;
+    amr::MultiFab& mf = levels_[static_cast<std::size_t>(lev)];
+    if (fab < 0 || fab >= mf.numFabs()) return;
+    amr::Real& v = mf.fab(fab)(mf.validBox(fab).smallEnd(), 0);
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    u ^= 0xFFull << 8; // one flipped byte, mantissa-only: stays finite
+    std::memcpy(&v, &u, sizeof u);
+}
+
 void BuddyCheckpoint::invalidate() {
     levels_.clear();
+    crcs_.clear();
     droppedReplicas_.clear();
     mirroredBytes_ = 0;
     finest_ = -1;

@@ -59,6 +59,19 @@ public:
     /// lives in SimComm, not here.
     bool canRecover(int deadRank) const;
 
+    /// Recompute every mirrored fab's CRC32 and compare against the stamps
+    /// taken at store() time. Restores MUST call this before any mirror
+    /// byte overwrites live state: a mirror that sat in partner memory for
+    /// thousands of steps is exactly the long-idle state SDC hits, and a
+    /// corrupted mirror that is trusted turns one recoverable fault into a
+    /// silently wrong run. False = corrupt; fall through to the disk path.
+    bool verifyMirror() const;
+
+    /// SDC injection hook for tests: flip one byte of the mirrored copy of
+    /// (level, fab), so verifyMirror() fails and recovery has to fall back
+    /// to RestartManager.
+    void corruptMirror(int lev, int fab);
+
     /// Discard the snapshot (e.g. after it has been consumed by a
     /// recovery: its rank numbering predates the shrink).
     void invalidate();
@@ -70,6 +83,7 @@ public:
 
 private:
     std::vector<amr::MultiFab> levels_;
+    std::vector<std::vector<std::uint32_t>> crcs_; ///< [level][fab], at store()
     std::vector<int> droppedReplicas_;
     std::int64_t mirroredBytes_ = 0;
     double time_ = 0.0;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "amr/MultiFab.hpp"
+#include "resilience/FaultRng.hpp"
 #include "resilience/Health.hpp"
 
 #include <cstdint>
@@ -23,6 +24,11 @@ public:
     };
 
     explicit FaultInjector(std::uint64_t seed = 0xC0FFEEull);
+    /// Substream constructor: one master FaultRng seeds every injector in
+    /// the fault stack independently, so arming this one never shifts the
+    /// comm or SDC injectors' decision streams.
+    explicit FaultInjector(const FaultRng& rng)
+        : FaultInjector(rng.seedFor(FaultRng::kCellStream)) {}
 
     /// Arm a one-shot corruption of one pseudo-randomly chosen cell,
     /// applied after the RK3 advance of step `step` (so the health check

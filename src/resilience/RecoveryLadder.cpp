@@ -1,0 +1,99 @@
+#include "resilience/RecoveryLadder.hpp"
+
+#include <sstream>
+
+namespace crocco::resilience {
+
+const char* describe(FaultClass c) {
+    switch (c) {
+    case FaultClass::ColdSdc: return "cold-state SDC";
+    case FaultClass::KernelSdc: return "kernel-output SDC";
+    case FaultClass::HealthFault: return "health fault";
+    case FaultClass::RankDeath: return "rank death";
+    case FaultClass::CheckpointCorrupt: return "corrupt restore source";
+    }
+    return "?";
+}
+
+const char* describe(Rung r) {
+    switch (r) {
+    case Rung::FabRestore: return "fab restore";
+    case Rung::StepRollback: return "step rollback";
+    case Rung::BuddyRestore: return "buddy restore";
+    case Rung::DiskRestart: return "disk restart";
+    case Rung::Abort: return "abort";
+    }
+    return "?";
+}
+
+void RecoveryLog::record(int step, FaultClass fault, Rung rung, bool success,
+                         std::string detail) {
+    events_.push_back({step, fault, rung, success, std::move(detail)});
+}
+
+int RecoveryLog::successes(Rung rung) const {
+    int n = 0;
+    for (const RecoveryEvent& e : events_)
+        if (e.rung == rung && e.success) ++n;
+    return n;
+}
+
+int RecoveryLog::failures(Rung rung) const {
+    int n = 0;
+    for (const RecoveryEvent& e : events_)
+        if (e.rung == rung && !e.success) ++n;
+    return n;
+}
+
+std::string RecoveryLog::describeAll() const {
+    std::ostringstream ss;
+    for (const RecoveryEvent& e : events_) {
+        ss << "step " << e.step << ": " << describe(e.fault) << " -> "
+           << describe(e.rung) << (e.success ? " ok" : " FAILED");
+        if (!e.detail.empty()) ss << " (" << e.detail << ")";
+        ss << '\n';
+    }
+    return ss.str();
+}
+
+Rung RecoveryLadder::entryRung(FaultClass fault) {
+    switch (fault) {
+    case FaultClass::ColdSdc:
+        // Localized by the CRC scan; the state has not been consumed yet,
+        // so one fab restored bitwise repairs the run in place.
+        return Rung::FabRestore;
+    case FaultClass::KernelSdc:
+    case FaultClass::HealthFault:
+        // The step's outputs are suspect wholesale: replay it.
+        return Rung::StepRollback;
+    case FaultClass::RankDeath:
+        // Local repair is meaningless — the data is gone with the rank.
+        return Rung::BuddyRestore;
+    case FaultClass::CheckpointCorrupt:
+        // The mirror/copy failed its CRC: only the disk dump is left.
+        return Rung::DiskRestart;
+    }
+    return Rung::Abort;
+}
+
+Rung RecoveryLadder::escalate(Rung rung, FaultClass fault) {
+    switch (rung) {
+    case Rung::FabRestore:
+        // The in-step snapshot was taken from the same already-corrupt
+        // state a cold-SDC fab restore just failed to repair — replaying
+        // the step replays the corruption, so skip straight past it.
+        return fault == FaultClass::ColdSdc ? Rung::BuddyRestore
+                                            : Rung::StepRollback;
+    case Rung::StepRollback: return Rung::BuddyRestore;
+    case Rung::BuddyRestore: return Rung::DiskRestart;
+    case Rung::DiskRestart: return Rung::Abort;
+    case Rung::Abort: return Rung::Abort;
+    }
+    return Rung::Abort;
+}
+
+bool RecoveryLadder::dtBackoffApplies(FaultClass fault) {
+    return fault == FaultClass::HealthFault;
+}
+
+} // namespace crocco::resilience

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace crocco::resilience {
+
+/// What went wrong — the ladder picks its entry rung from this.
+enum class FaultClass {
+    ColdSdc,          ///< guard verify found corrupted cold fab(s)
+    KernelSdc,        ///< dual execution caught a corrupted stage RHS
+    HealthFault,      ///< StateValidator found NaN/Inf/negative state
+    RankDeath,        ///< a communicator endpoint died (RankFailure)
+    CheckpointCorrupt ///< a restore source failed its CRC check
+};
+
+/// The escalation chain, cheapest rung first. Each rung is a strictly
+/// bigger hammer: restore one fab in place, roll the step back, rebuild
+/// from the buddy mirror, reload the disk checkpoint, give up.
+enum class Rung {
+    FabRestore,   ///< bitwise repair of one fab from the retained copy
+    StepRollback, ///< PR 1: restore the in-step snapshot and retry
+    BuddyRestore, ///< PR 6: rebuild state from the partner mirror
+    DiskRestart,  ///< reload the newest verified disk checkpoint
+    Abort         ///< nothing left — surface the failure
+};
+
+const char* describe(FaultClass c);
+const char* describe(Rung r);
+
+/// One escalation decision, as the ladder made it.
+struct RecoveryEvent {
+    int step = 0;
+    FaultClass fault = FaultClass::HealthFault;
+    Rung rung = Rung::StepRollback;
+    bool success = false;
+    std::string detail;
+};
+
+/// Append-only record of every rung the ladder tried. The soak tests
+/// assert against this log (every rung exercised, every attempt resolved),
+/// and evolve() surfaces it next to the health report on failure.
+class RecoveryLog {
+public:
+    void record(int step, FaultClass fault, Rung rung, bool success,
+                std::string detail = {});
+    const std::vector<RecoveryEvent>& events() const { return events_; }
+    /// Successful climbs of `rung` (any fault class).
+    int successes(Rung rung) const;
+    /// Attempts of `rung` that failed and escalated.
+    int failures(Rung rung) const;
+    /// Multi-line human-readable dump for diagnostics.
+    std::string describeAll() const;
+    void clear() { events_.clear(); }
+
+private:
+    std::vector<RecoveryEvent> events_;
+};
+
+/// Unified recovery policy (docs/resilience.md §6): every detector in the
+/// solver reports its fault class here, and the ladder answers with the
+/// cheapest applicable rung; a failed rung escalates to the next. The
+/// ladder itself performs no repair — CroccoAmr owns the mechanisms (guard
+/// restore, snapshot rollback, buddy rebuild, RestartManager) and routes
+/// each ad-hoc call site through this policy so escalation order and
+/// bookkeeping live in exactly one place.
+///
+/// dt backoff is a property of the *fault*, not the rung: a health fault
+/// usually means the explicit step outran its CFL limit, so its retry
+/// shrinks dt; an SDC retry replays the identical step (the flip was
+/// transient) and must NOT change dt, or the repaired run would diverge
+/// bitwise from the fault-free one.
+class RecoveryLadder {
+public:
+    /// Cheapest rung applicable to a fault class: fab repair only works
+    /// for localized cold corruption; a corrupted kernel output needs the
+    /// whole step replayed; rank death starts at the buddy mirror.
+    static Rung entryRung(FaultClass fault);
+
+    /// Next-bigger hammer after `rung` failed for `fault`. Mostly the next
+    /// chain link, with one exception: cold SDC skips StepRollback (the
+    /// corruption predates the in-step snapshot, so replaying the step
+    /// would replay the corruption) and goes straight to the buddy mirror.
+    static Rung escalate(Rung rung, FaultClass fault);
+
+    /// Whether a StepRollback retry of this fault class shrinks dt.
+    static bool dtBackoffApplies(FaultClass fault);
+
+    RecoveryLog& log() { return log_; }
+    const RecoveryLog& log() const { return log_; }
+
+private:
+    RecoveryLog log_;
+};
+
+/// Raised when SDC is detected but the local rungs (fab restore, step
+/// rollback) cannot repair it — evolve() climbs the remaining rungs
+/// (buddy mirror, disk restart) exactly as it does for a rank death.
+class SdcFault : public std::runtime_error {
+public:
+    SdcFault(int step, FaultClass fault, const std::string& what)
+        : std::runtime_error(what), step_(step), fault_(fault) {}
+    int step() const { return step_; }
+    FaultClass fault() const { return fault_; }
+
+private:
+    int step_;
+    FaultClass fault_;
+};
+
+} // namespace crocco::resilience

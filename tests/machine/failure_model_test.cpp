@@ -198,5 +198,84 @@ TEST(ScalingSimulator, ResilienceOverheadGrowsWithNodeCount) {
     }
 }
 
+TEST(FailureModel, SdcMeanTimeBetweenScalesWithResidentBytes) {
+    FailureModel fm;
+    const std::int64_t gb = 1'000'000'000;
+    // One GB at the default 1e-5 upsets/GB-hour: 1e5 hours between upsets.
+    EXPECT_NEAR(fm.sdcMeanTimeBetween(gb), 1.0e5 * 3600.0, 1.0);
+    // Twice the resident state, half the time between silent upsets.
+    EXPECT_NEAR(fm.sdcMeanTimeBetween(2 * gb) * 2.0, fm.sdcMeanTimeBetween(gb),
+                1.0);
+    // No resident state (or a zero rate) means upsets never happen.
+    EXPECT_TRUE(std::isinf(fm.sdcMeanTimeBetween(0)));
+    FailureModel immune;
+    immune.sdcRatePerGBHour = 0.0;
+    EXPECT_TRUE(std::isinf(immune.sdcMeanTimeBetween(gb)));
+    EXPECT_DOUBLE_EQ(immune.sdcWasteFraction(gb, 100.0, 10.0), 0.0);
+}
+
+TEST(FailureModel, SdcScanAndDetectionOverheadFollowTheCadence) {
+    FailureModel fm;
+    const std::int64_t bytes = 4'000'000'000'000; // 4 TB across the machine
+    // The CRC sweep is per-node concurrent, like buddy mirroring.
+    EXPECT_NEAR(fm.sdcScanTime(bytes, 2048) / fm.sdcScanTime(bytes, 4096), 2.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(fm.sdcScanTime(bytes, 64),
+                     (static_cast<double>(bytes) / 64) / fm.sdcScanBandwidth);
+    // Doubling the verify interval roughly halves the scan overhead, and
+    // the fraction is always in (0, 1).
+    const double stepTime = 1.0;
+    const double o1 = fm.sdcDetectionOverhead(bytes, 4096, stepTime, 1);
+    const double o10 = fm.sdcDetectionOverhead(bytes, 4096, stepTime, 10);
+    EXPECT_GT(o1, 0.0);
+    EXPECT_LT(o1, 1.0);
+    EXPECT_GT(o1, o10);
+    EXPECT_NEAR(o1 / o10, 10.0, 1.0); // scan << window: near-linear
+    // Longer detection latency (a sparser verify cadence) wastes more work
+    // per silent upset.
+    EXPECT_LT(fm.sdcWasteFraction(bytes, 10.0, 5.0),
+              fm.sdcWasteFraction(bytes, 1000.0, 5.0));
+}
+
+TEST(ScalingSimulator, SdcGuardCrossesOverToWinningAtScale) {
+    // The tentpole economics: the guard's scan overhead is roughly flat in
+    // node count (per-node concurrent sweep of per-node state), while the
+    // unguarded waste grows with total resident bytes — a silent upset
+    // rides to the next checkpoint validation and pays a disk restore plus
+    // half a Daly cycle of recompute. At desktop scale the upset rate is
+    // so low that running unguarded is cheaper; at the paper's 4096-node
+    // weak-scaled configuration the guard must win. The acceptance gate:
+    // modeled detection overhead stays under 5% at the default cadence
+    // (resilience.sdc_interval = 10) at every tested node count.
+    ScalingSimulator sim;
+    double prevUnguarded = 0.0;
+    for (int nodes : {64, 1024, 4096}) {
+        ScalingCase c;
+        c.version = core::CodeVersion::V20;
+        c.nodes = nodes;
+        c.equivalentPoints = static_cast<std::int64_t>(nodes) * 40'000'000;
+        const SdcComparison sc = sim.sdcComparison(c, 10);
+        EXPECT_GT(sc.residentBytes, 0) << nodes << " nodes";
+        EXPECT_GT(sc.upsetMtbf, 0.0);
+        EXPECT_GT(sc.scanTime, 0.0);
+        EXPECT_GT(sc.detectionOverheadFraction, 0.0);
+        EXPECT_LT(sc.detectionOverheadFraction, 0.05) << nodes << " nodes";
+        // Unguarded waste compounds with scale (more resident GB, shorter
+        // upset MTBF, pricier disk restores)...
+        EXPECT_GT(sc.unguardedWasteFraction, prevUnguarded) << nodes << " nodes";
+        prevUnguarded = sc.unguardedWasteFraction;
+        // ...until at the paper's largest configuration the guard wins.
+        if (nodes == 4096)
+            EXPECT_LT(sc.guardedWasteFraction, sc.unguardedWasteFraction);
+    }
+    // A denser cadence detects sooner but scans more often.
+    ScalingCase c;
+    c.version = core::CodeVersion::V20;
+    c.nodes = 4096;
+    c.equivalentPoints = 4096ll * 40'000'000;
+    EXPECT_GT(sim.sdcComparison(c, 1).detectionOverheadFraction,
+              sim.sdcComparison(c, 10).detectionOverheadFraction);
+}
+
 } // namespace
 } // namespace crocco::machine

@@ -1,0 +1,29 @@
+// Fixture: A6 negative — recovery sources that do consult the guard in
+// the same function, plus a plain cache store that is not a recovery
+// source at all (no buddy handle in the access chain).
+struct Solver;
+struct Buddy;
+struct Guard;
+struct Cache;
+struct Opts {
+    Buddy* buddy;
+};
+
+void guardedDump(Solver* s, Guard& g, double* state) {
+    g.verify(state);
+    s->writeCheckpoint("chk1");
+}
+
+void guardedMirror(Opts& opts, double* state) {
+    if (!opts.buddy->verifyMirror()) return;
+    opts.buddy->store(state, 1, 0, 0.0, nullptr);
+}
+
+void restampedRestore(Solver* s, Guard& g, double* state) {
+    s->readCheckpoint("chk1");
+    g.stamp(state, 1);
+}
+
+void plainCachePut(Cache* cache) {
+    cache->store(42);
+}

@@ -1,0 +1,21 @@
+// Fixture: A6 positive — checkpoint/mirror traffic with no FabGuard
+// consultation in the same function. The third site shows the reviewed
+// escape hatch: an allow(A6) with a reason suppresses the finding.
+struct Solver;
+struct Buddy;
+struct Opts {
+    Buddy* buddy;
+};
+
+void unguardedDump(Solver* s) {
+    s->writeCheckpoint("chk0");
+}
+
+void unguardedMirror(Opts& opts, double* state) {
+    opts.buddy->store(state, 1, 0, 0.0, nullptr);
+}
+
+void bootstrapRestore(Solver* s) {
+    // crocco-analyze:allow(A6): fixture, cold start — no live state to guard
+    s->readCheckpoint("chk0");
+}

@@ -95,6 +95,9 @@ const std::vector<RuleInfo>& ruleCatalog() {
         {"A5", "no raw per-pair isend/irecv loops outside the aggregation "
                "planner",
          "docs/correctness.md#a5"},
+        {"A6", "checkpoint/mirror traffic consults the FabGuard stamp/verify "
+               "API in the same function",
+         "docs/correctness.md#a6"},
     };
     return catalog;
 }
@@ -117,6 +120,7 @@ std::vector<Finding> runChecks(const Project& project,
     if (want("A3")) checkA3(project, findings);
     if (want("A4")) checkA4(project, findings);
     if (want("A5")) checkA5(project, findings);
+    if (want("A6")) checkA6(project, findings);
 
     // Resolve inline suppressions (only meaningful for findings located in
     // a scanned C++ source; doc-located findings pass through).

@@ -9,7 +9,7 @@
 namespace crocco::analyze {
 
 struct CheckOptions {
-    /// Rule ids to run; empty = all. ("R1".."R7", "A1".."A5")
+    /// Rule ids to run; empty = all. ("R1".."R7", "A1".."A6")
     std::set<std::string> rules;
 };
 
@@ -45,5 +45,6 @@ void checkA2(const Project&, std::vector<Finding>&); ///< exchange protocol
 void checkA3(const Project&, std::vector<Finding>&); ///< deck-key registry
 void checkA4(const Project&, std::vector<Finding>&); ///< module layering
 void checkA5(const Project&, std::vector<Finding>&); ///< per-pair post loops
+void checkA6(const Project&, std::vector<Finding>&); ///< guarded recovery sources
 
 } // namespace crocco::analyze

@@ -633,6 +633,9 @@ const std::map<std::string, std::set<std::string>> kHeaderGrants = {
     // StateValidator/FaultInjector name the conserved-variable indices;
     // core/State.hpp is a constants-only header.
     {"core/State.hpp", {"resilience"}},
+    // CommFaults draws its decision-stream seed from the unified fault
+    // RNG; FaultRng is a header-only, dependency-free seed-derivation leaf.
+    {"resilience/FaultRng.hpp", {"parallel"}},
 };
 
 } // namespace

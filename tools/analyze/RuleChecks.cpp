@@ -10,6 +10,7 @@
 
 #include "Checks.hpp"
 
+#include <set>
 #include <sstream>
 
 namespace crocco::analyze {
@@ -290,6 +291,55 @@ void checkA5(const Project& project, std::vector<Finding>& out) {
                         "message per box pair; route the exchange through "
                         "MultiFab's aggregation plan (comm.aggregate) "
                         "instead");
+        }
+    }
+}
+
+// A6 — recovery sources are validated before they are trusted. A function
+// that writes a checkpoint or buddy mirror (writeCheckpoint / buddy store)
+// or reads one back (readCheckpoint) is publishing or consuming state the
+// recovery ladder will later treat as ground truth; if the function never
+// consults the FabGuard stamp/verify API, a silent upset rides straight
+// into the recovery source and every ladder rung below it replays the
+// corruption (docs/resilience.md §6). src/resilience/ itself implements
+// the guard and the stores, so it is exempt.
+void checkA6(const Project& project, std::vector<Finding>& out) {
+    for (const SourceFile& sf : project.files) {
+        if (!inSrc(sf.lexed.path)) continue;
+        if (startsWith(sf.lexed.path, "src/resilience/")) continue;
+        const Outline& ol = sf.outline;
+
+        // Functions that consult the guard anywhere in their body (calls in
+        // lambdas attribute to the enclosing function, which is the right
+        // granularity: evolve()'s restamp lambda guards evolve's writes).
+        std::set<int> guarded;
+        for (const CallExpr& c : ol.calls) {
+            if (c.func < 0) continue;
+            if (startsWith(c.name, "stamp") || startsWith(c.name, "verify") ||
+                startsWith(c.name, "sdcVerify"))
+                guarded.insert(c.func);
+        }
+
+        for (const CallExpr& c : ol.calls) {
+            const bool checkpoint =
+                c.name == "writeCheckpoint" || c.name == "readCheckpoint";
+            // `store` only counts when called through a buddy handle
+            // (opts.buddy->store, buddy_.store); a plain cache store is not
+            // a recovery source.
+            const bool mirror = c.name == "store" &&
+                                c.chain.find("uddy") != std::string::npos;
+            if (!checkpoint && !mirror) continue;
+            if (c.func >= 0 && guarded.count(c.func) != 0) continue;
+            const std::string where =
+                c.func >= 0 ? ol.functions[static_cast<std::size_t>(c.func)]
+                                  .qualified
+                            : "file scope";
+            add(out, "A6", sf.lexed.path, c.line,
+                c.chain + "() in " + where +
+                    " touches checkpoint/mirror state without a FabGuard "
+                    "stamp/verify in the same function — validate the "
+                    "recovery source before trusting it "
+                    "(docs/resilience.md, SDC threat model)");
         }
     }
 }

@@ -32,12 +32,23 @@ echo "== fault-injection soak (ctest -L resilience) =="
 # plus the mid-run rank-death soak with regrids (comm_recovery_test).
 (cd build-ci && ctest -L resilience --output-on-failure)
 
-echo "== perf benches (BENCH_PR2 + BENCH_PR4 + BENCH_PR6 + BENCH_PR7 + BENCH_PR9) =="
+echo "== SDC chaos lane (seed matrix over ctest -R sdc_soak) =="
+# The combined chaos soak (SDC + message faults + rank death) re-run under
+# several campaign seeds: every seed must drive the recovery ladder back to
+# a bitwise-identical trajectory. The default seed (2026) already ran in
+# the resilience lane above.
+for seed in 7 1234 90210; do
+    echo "-- CROCCO_SDC_SEED=$seed"
+    (cd build-ci && CROCCO_SDC_SEED=$seed ctest -R sdc_soak --output-on-failure)
+done
+
+echo "== perf benches (BENCH_PR2 + BENCH_PR4 + BENCH_PR6 + BENCH_PR7 + BENCH_PR9 + BENCH_PR10) =="
 bench/run_bench.sh build-ci BENCH_PR2.json
 bench/run_bench_pr4.sh build-ci BENCH_PR4.json
 bench/run_bench_pr6.sh build-ci BENCH_PR6.json
 bench/run_bench_pr7.sh build-ci BENCH_PR7.json
 bench/run_bench_pr9.sh build-ci BENCH_PR9.json
+bench/run_bench_pr10.sh build-ci BENCH_PR10.json
 
 echo "== CroccoCheck (Release + CROCCO_CHECK) =="
 cmake -B build-ci-check -S . -DCMAKE_BUILD_TYPE=Release -DCROCCO_CHECK=ON \
